@@ -1,0 +1,105 @@
+// Ablation study (beyond the paper's headline results): which design choices
+// of the extended mechanism matter?
+//   1. RelQue depth (max pending branches 4 / 8 / 20): conditional releases
+//      need branch coverage.
+//   2. Basic-without-reuse vs basic (how much of the basic win is the
+//      register-reuse optimization vs early release per se) — approximated
+//      by comparing against extended, which never reuses.
+//   3. LSQ store->load forwarding contribution (memory substrate ablation):
+//      shrink the LSQ to throttle it.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace erel;
+  using core::PolicyKind;
+
+  // --- 1. checkpoint budget / RelQue depth ---
+  std::printf("=== ablation 1: pending-branch budget (extended, 48+48) ===\n");
+  {
+    TextTable t({"max pending branches", "int Hm IPC", "FP Hm IPC"});
+    for (const unsigned depth : {4u, 8u, 20u}) {
+      std::vector<harness::RunSpec> specs;
+      for (const auto& w : workloads::workload_names()) {
+        auto config = harness::experiment_config(PolicyKind::Extended, 48);
+        config.max_pending_branches = depth;
+        specs.push_back({w, config, ""});
+      }
+      const auto results = harness::run_all(specs);
+      std::vector<double> int_ipc, fp_ipc;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const bool fp =
+            workloads::workload(results[i].spec.workload).is_fp;
+        (fp ? fp_ipc : int_ipc).push_back(results[i].stats.ipc());
+      }
+      t.add_row({std::to_string(depth),
+                 TextTable::num(harness::harmonic_mean(int_ipc)),
+                 TextTable::num(harness::harmonic_mean(fp_ipc))});
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+
+  // --- 2. release-channel mix per policy ---
+  std::printf(
+      "\n=== ablation 2: where do releases happen? (48+48, per class) ===\n");
+  {
+    const auto results = benchutil::run_sweep(
+        workloads::workload_names(),
+        {PolicyKind::Conventional, PolicyKind::Basic, PolicyKind::Extended},
+        {48});
+    TextTable t({"policy", "class", "conventional", "early@LU", "immediate",
+                 "reuse", "branch-confirm", "fallback"});
+    for (const PolicyKind policy :
+         {PolicyKind::Conventional, PolicyKind::Basic, PolicyKind::Extended}) {
+      for (int cls = 0; cls < 2; ++cls) {
+        core::PolicyStats sum;
+        for (const auto& w : workloads::workload_names()) {
+          const auto& ps =
+              results.at(benchutil::SweepKey{w, policy, 48}).policy_stats[cls];
+          sum.conventional_releases += ps.conventional_releases;
+          sum.early_commit_releases += ps.early_commit_releases;
+          sum.immediate_releases += ps.immediate_releases;
+          sum.reuses += ps.reuses;
+          sum.branch_confirm_releases += ps.branch_confirm_releases;
+          sum.fallback_conventional += ps.fallback_conventional;
+        }
+        t.add_row({std::string(core::policy_name(policy)),
+                   cls == 0 ? "int" : "fp",
+                   std::to_string(sum.conventional_releases),
+                   std::to_string(sum.early_commit_releases),
+                   std::to_string(sum.immediate_releases),
+                   std::to_string(sum.reuses),
+                   std::to_string(sum.branch_confirm_releases),
+                   std::to_string(sum.fallback_conventional)});
+      }
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+
+  // --- 3. LSQ capacity (memory substrate) ---
+  std::printf("\n=== ablation 3: LSQ size (extended, 64+64) ===\n");
+  {
+    TextTable t({"LSQ entries", "int Hm IPC", "FP Hm IPC"});
+    for (const unsigned lsq : {16u, 32u, 64u}) {
+      std::vector<harness::RunSpec> specs;
+      for (const auto& w : workloads::workload_names()) {
+        auto config = harness::experiment_config(PolicyKind::Extended, 64);
+        config.lsq_size = lsq;
+        specs.push_back({w, config, ""});
+      }
+      const auto results = harness::run_all(specs);
+      std::vector<double> int_ipc, fp_ipc;
+      for (const auto& r : results) {
+        const bool fp = workloads::workload(r.spec.workload).is_fp;
+        (fp ? fp_ipc : int_ipc).push_back(r.stats.ipc());
+      }
+      t.add_row({std::to_string(lsq),
+                 TextTable::num(harness::harmonic_mean(int_ipc)),
+                 TextTable::num(harness::harmonic_mean(fp_ipc))});
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+  return 0;
+}

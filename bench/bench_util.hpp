@@ -1,0 +1,69 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+#include "workloads/workloads.hpp"
+
+namespace erel::benchutil {
+
+struct SweepKey {
+  std::string workload;
+  core::PolicyKind policy;
+  unsigned phys;
+  bool operator<(const SweepKey& other) const {
+    return std::tie(workload, policy, phys) <
+           std::tie(other.workload, other.policy, other.phys);
+  }
+};
+
+using SweepResults = std::map<SweepKey, sim::SimStats>;
+
+/// Runs workloads x policies x sizes in parallel and indexes the results.
+inline SweepResults run_sweep(const std::vector<std::string>& names,
+                              const std::vector<core::PolicyKind>& policies,
+                              const std::vector<unsigned>& sizes) {
+  std::vector<harness::RunSpec> specs;
+  for (const std::string& w : names)
+    for (const core::PolicyKind policy : policies)
+      for (const unsigned p : sizes)
+        specs.push_back({w, harness::experiment_config(policy, p), ""});
+  const auto results = harness::run_all(specs);
+  SweepResults out;
+  std::size_t i = 0;
+  for (const std::string& w : names)
+    for (const core::PolicyKind policy : policies)
+      for (const unsigned p : sizes)
+        out[{w, policy, p}] = results[i++].stats;
+  return out;
+}
+
+inline std::vector<std::string> int_names() {
+  std::vector<std::string> names;
+  for (const auto& w : workloads::registry())
+    if (!w.is_fp) names.push_back(w.name);
+  return names;
+}
+
+inline std::vector<std::string> fp_names() {
+  std::vector<std::string> names;
+  for (const auto& w : workloads::registry())
+    if (w.is_fp) names.push_back(w.name);
+  return names;
+}
+
+/// Harmonic-mean IPC over a workload subset at one (policy, size) point.
+inline double hmean_ipc(const SweepResults& results,
+                        const std::vector<std::string>& names,
+                        core::PolicyKind policy, unsigned phys) {
+  std::vector<double> ipcs;
+  for (const std::string& w : names)
+    ipcs.push_back(results.at({w, policy, phys}).ipc());
+  return harness::harmonic_mean(ipcs);
+}
+
+}  // namespace erel::benchutil

@@ -1,0 +1,51 @@
+// Figure 10 reproduction: per-benchmark IPC for conventional / basic /
+// extended with very tight 48+48 register files, plus harmonic means.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace erel;
+  using core::PolicyKind;
+  using benchutil::SweepKey;
+
+  const std::vector<PolicyKind> policies = {
+      PolicyKind::Conventional, PolicyKind::Basic, PolicyKind::Extended};
+  const auto results =
+      benchutil::run_sweep(workloads::workload_names(), policies, {48});
+
+  std::printf("=== Figure 10: IPC with 48+48 registers ===\n");
+  for (const bool fp : {false, true}) {
+    const auto names = fp ? benchutil::fp_names() : benchutil::int_names();
+    std::printf("\n-- %s --\n", fp ? "FP" : "Integer");
+    TextTable t({"benchmark", "conv", "basic", "extended", "basic speedup",
+                 "extended speedup"});
+    for (const auto& name : names) {
+      const double conv =
+          results.at(SweepKey{name, PolicyKind::Conventional, 48}).ipc();
+      const double basic =
+          results.at(SweepKey{name, PolicyKind::Basic, 48}).ipc();
+      const double ext =
+          results.at(SweepKey{name, PolicyKind::Extended, 48}).ipc();
+      t.add_row({name, TextTable::num(conv), TextTable::num(basic),
+                 TextTable::num(ext), TextTable::pct(basic / conv - 1.0),
+                 TextTable::pct(ext / conv - 1.0)});
+    }
+    const double conv_hm =
+        benchutil::hmean_ipc(results, names, PolicyKind::Conventional, 48);
+    const double basic_hm =
+        benchutil::hmean_ipc(results, names, PolicyKind::Basic, 48);
+    const double ext_hm =
+        benchutil::hmean_ipc(results, names, PolicyKind::Extended, 48);
+    t.add_row({"Hm", TextTable::num(conv_hm), TextTable::num(basic_hm),
+               TextTable::num(ext_hm), TextTable::pct(basic_hm / conv_hm - 1.0),
+               TextTable::pct(ext_hm / conv_hm - 1.0)});
+    std::printf("%s", t.to_string().c_str());
+  }
+  std::printf(
+      "\npaper (48+48): basic ~6%% FP speedup, negligible for int;\n"
+      "extended ~8%% FP / ~5%% int. Expect the same ordering here with\n"
+      "magnitudes shifted by our workload substitution.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 3 reproduction: average number of Allocated registers in the
+// Empty / Ready / Idle states under conventional renaming, with a tight
+// 96+96 register file (L=32, N=128) — integer registers for integer
+// programs, FP registers for FP programs.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace erel;
+  using benchutil::SweepKey;
+
+  const auto results = benchutil::run_sweep(
+      workloads::workload_names(), {core::PolicyKind::Conventional}, {96});
+
+  std::printf(
+      "=== Figure 3: allocated registers by state, conventional renaming "
+      "(P=96 per class) ===\n");
+  for (const bool fp : {false, true}) {
+    const auto names = fp ? benchutil::fp_names() : benchutil::int_names();
+    std::printf("\n-- %s programs (%s registers) --\n",
+                fp ? "floating point" : "integer", fp ? "FP" : "integer");
+    TextTable t({"benchmark", "empty", "ready", "idle", "allocated",
+                 "idle inflation"});
+    double sum_empty = 0, sum_ready = 0, sum_idle = 0;
+    for (const auto& name : names) {
+      const auto& stats =
+          results.at(SweepKey{name, core::PolicyKind::Conventional, 96});
+      const core::Occupancy& occ = stats.occupancy[fp ? 1 : 0];
+      sum_empty += occ.avg_empty;
+      sum_ready += occ.avg_ready;
+      sum_idle += occ.avg_idle;
+      t.add_row({name, TextTable::num(occ.avg_empty, 1),
+                 TextTable::num(occ.avg_ready, 1),
+                 TextTable::num(occ.avg_idle, 1),
+                 TextTable::num(occ.avg_allocated(), 1),
+                 TextTable::pct(occ.avg_idle /
+                                (occ.avg_empty + occ.avg_ready))});
+    }
+    const double n = static_cast<double>(names.size());
+    t.add_row({"Amean", TextTable::num(sum_empty / n, 1),
+               TextTable::num(sum_ready / n, 1),
+               TextTable::num(sum_idle / n, 1),
+               TextTable::num((sum_empty + sum_ready + sum_idle) / n, 1),
+               TextTable::pct(sum_idle / (sum_empty + sum_ready))});
+    std::printf("%s", t.to_string().c_str());
+  }
+  std::printf(
+      "\npaper: the Idle state inflates used registers by 45.8%% (int) and\n"
+      "16.8%% (FP). Our kernels reproduce the premise (a large Idle share\n"
+      "for every program); the int-vs-FP asymmetry depends on SPEC code\n"
+      "shapes we approximate only loosely (see EXPERIMENTS.md).\n");
+  return 0;
+}

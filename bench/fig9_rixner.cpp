@@ -1,0 +1,58 @@
+// Figure 9 reproduction: access time (a) and energy per access (b) of the
+// integer / FP register files and the LUs Table as the number of registers
+// grows from 40 to 160 (Rixner-style model, 0.18 um).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "power/rixner.hpp"
+
+int main() {
+  using erel::power::RixnerModel;
+  const RixnerModel model;
+
+  std::printf("=== Figure 9a: access time (ns) vs number of registers ===\n");
+  erel::TextTable time({"registers", "INT (T=44)", "FP (T=50)", "LUsT"});
+  const double lus_time = model.access_time_ns(RixnerModel::lus_table());
+  for (unsigned p = 40; p <= 160; p += 8) {
+    time.add_row({std::to_string(p),
+                  erel::TextTable::num(
+                      model.access_time_ns(RixnerModel::int_file(p)), 3),
+                  erel::TextTable::num(
+                      model.access_time_ns(RixnerModel::fp_file(p)), 3),
+                  erel::TextTable::num(lus_time, 3)});
+  }
+  std::printf("%s", time.to_string().c_str());
+  std::printf("paper anchor: LUs Table = 0.98 ns; model gives %.3f ns\n",
+              lus_time);
+  std::printf(
+      "paper anchor: LUs Table 26%% below the 40-entry int file; model: "
+      "%.1f%%\n\n",
+      100.0 * (1.0 - lus_time /
+                         model.access_time_ns(RixnerModel::int_file(40))));
+
+  std::printf("=== Figure 9b: energy per access (pJ) vs registers ===\n");
+  erel::TextTable energy({"registers", "INT (T=44)", "FP (T=50)", "LUsT"});
+  const double lus_energy = model.energy_pj(RixnerModel::lus_table());
+  for (unsigned p = 40; p <= 160; p += 8) {
+    energy.add_row(
+        {std::to_string(p),
+         erel::TextTable::num(model.energy_pj(RixnerModel::int_file(p)), 1),
+         erel::TextTable::num(model.energy_pj(RixnerModel::fp_file(p)), 1),
+         erel::TextTable::num(lus_energy, 1)});
+  }
+  std::printf("%s", energy.to_string().c_str());
+  std::printf("paper anchor: LUs Table = 193.2 pJ; model gives %.1f pJ\n",
+              lus_energy);
+
+  // §4.4 energy-balance comparison.
+  const double e_conv = model.energy_pj(RixnerModel::int_file(64)) +
+                        model.energy_pj(RixnerModel::fp_file(79));
+  const double e_early = model.energy_pj(RixnerModel::int_file(56)) +
+                         model.energy_pj(RixnerModel::fp_file(72)) +
+                         2.0 * lus_energy;
+  std::printf(
+      "\nSec 4.4 energy balance: conv(RF64int+RF79fp) = %.0f pJ, "
+      "early(RF56int+RF72fp+2xLUsT) = %.0f pJ (paper: 3850 vs 3851)\n",
+      e_conv, e_early);
+  return 0;
+}

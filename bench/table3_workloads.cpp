@@ -1,0 +1,38 @@
+// Table 3 reproduction: the benchmark inventory with *measured* dynamic
+// instruction counts (the paper lists 47M-2231M for full SPEC95 runs; our
+// kernels are scaled-down analogues, see DESIGN.md).
+#include <cstdio>
+
+#include "arch/arch_state.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace erel;
+  const auto& all = workloads::registry();
+  std::vector<std::uint64_t> counts(all.size());
+  ThreadPool pool;
+  parallel_for(pool, all.size(), [&](std::size_t i) {
+    arch::ArchState state(workloads::assemble_workload(all[i].name));
+    state.run();
+    counts[i] = state.instructions_executed();
+  });
+
+  std::printf("=== Table 3: workloads (SPEC95 analogues) ===\n");
+  TextTable t({"class", "application", "inputs (analogue)", "exec inst"});
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.2fM",
+                  static_cast<double>(counts[i]) / 1e6);
+    t.add_row({all[i].is_fp ? "FP" : "int", all[i].name, all[i].input, buf});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\npaper inputs for reference: compress 40000 e 2231 (170M), gcc\n"
+      "genrecog.i (145M), go 9 9 (146M), li 7 queens (243M), perl scrabbl.in\n"
+      "(47M); mgrid test (169M), tomcatv test (191M), applu train (398M),\n"
+      "swim train (431M), hydro2d test (472M). Our kernels run ~300-1000x\n"
+      "shorter; every kernel self-checks against the functional oracle.\n");
+  return 0;
+}

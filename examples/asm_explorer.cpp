@@ -1,0 +1,102 @@
+// Assembler / disassembler explorer: assembles a file (or a built-in demo),
+// prints the encoded image with disassembly, runs it functionally and dumps
+// the architectural result registers.
+//
+//   $ ./asm_explorer [program.s]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "arch/arch_state.hpp"
+#include "asmkit/assembler.hpp"
+#include "common/bits.hpp"
+#include "isa/isa.hpp"
+
+namespace {
+
+const char* kDemo = R"(# demo: sum of the first 10 squares, plus an FP mirror
+main:
+  li   r3, 0          # i
+  li   r4, 10
+  li   r5, 0          # int sum
+  cvtdi f1, r0        # fp sum
+loop:
+  addi r3, r3, 1
+  mul  r6, r3, r3
+  add  r5, r5, r6
+  cvtdi f2, r6
+  fadd f1, f1, f2
+  blt  r3, r4, loop
+  la   r7, result
+  sd   r5, 0(r7)
+  fsd  f1, 8(r7)
+  halt
+.data
+result: .space 16
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string source = kDemo;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  erel::arch::Program program;
+  try {
+    program = erel::asmkit::assemble(source);
+  } catch (const erel::asmkit::AsmError& e) {
+    std::fprintf(stderr, "%s", e.what());
+    return 1;
+  }
+
+  std::printf("entry: 0x%llx, %zu instructions, %zu data segment(s)\n\n",
+              static_cast<unsigned long long>(program.entry),
+              program.code.size(), program.data.size());
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    const std::uint64_t pc = program.code_base + 4 * i;
+    const auto inst = erel::isa::decode(program.code[i]);
+    // Label this address if a symbol points here.
+    for (const auto& [name, addr] : program.symbols) {
+      if (addr == pc) std::printf("%s:\n", name.c_str());
+    }
+    std::printf("  %08llx:  %08x  %s\n", static_cast<unsigned long long>(pc),
+                program.code[i], erel::isa::disassemble(inst, pc).c_str());
+  }
+
+  erel::arch::ArchState state(program);
+  const std::uint64_t steps = state.run(10'000'000);
+  std::printf("\nexecuted %llu instructions, %s\n",
+              static_cast<unsigned long long>(steps),
+              state.halted() ? "halted" : "hit step limit");
+
+  std::printf("\nnon-zero integer registers:\n");
+  for (unsigned r = 1; r < erel::isa::kNumLogicalRegs; ++r) {
+    if (state.int_reg(r) != 0)
+      std::printf("  r%-2u = %llu (0x%llx)\n", r,
+                  static_cast<unsigned long long>(state.int_reg(r)),
+                  static_cast<unsigned long long>(state.int_reg(r)));
+  }
+  std::printf("non-zero FP registers:\n");
+  for (unsigned r = 0; r < erel::isa::kNumLogicalRegs; ++r) {
+    if (state.fp_reg(r) != 0)
+      std::printf("  f%-2u = %g\n", r, erel::u2f(state.fp_reg(r)));
+  }
+  if (const auto it = program.symbols.find("result");
+      it != program.symbols.end()) {
+    std::printf("result block @0x%llx: %llu, fp %g\n",
+                static_cast<unsigned long long>(it->second),
+                static_cast<unsigned long long>(
+                    state.memory().read_u64(it->second)),
+                erel::u2f(state.memory().read_u64(it->second + 8)));
+  }
+  return 0;
+}

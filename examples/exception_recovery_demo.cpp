@@ -1,0 +1,64 @@
+// Precise-exception recovery demo (paper §4.3): inject pipeline flushes
+// while the extended mechanism releases registers early, and show that
+// (a) results stay exact, (b) stale architectural mappings appear and are
+// suppressed rather than double-freed, (c) flushes only cost time.
+//
+//   $ ./exception_recovery_demo
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace erel;
+
+  const arch::Program program = workloads::assemble_workload("tomcatv");
+  const std::uint64_t result_addr = program.symbols.at("result");
+
+  sim::SimConfig config;
+  config.policy = core::PolicyKind::Extended;
+  config.phys_int = 48;
+  config.phys_fp = 48;
+  config.check_oracle = true;  // every committed instruction is verified
+  config.max_instructions = 400'000;
+
+  // Reference run: no exceptions.
+  sim::Simulator clean_sim(config);
+  auto clean = clean_sim.make_core(program);
+  const sim::SimStats clean_stats = clean->run();
+
+  // Interrupt storm: flush the whole pipeline every ~300 commits. Each flush
+  // restores the Map Table from the IOMT — which may point at early-released
+  // (dead) registers; the stale bits keep the machine single-release.
+  config.flush_period = 300;
+  sim::Simulator flushed_sim(config);
+  auto flushed = flushed_sim.make_core(program);
+  const sim::SimStats flushed_stats = flushed->run();
+
+  std::printf("clean run:     %8llu cycles, IPC %.3f\n",
+              static_cast<unsigned long long>(clean_stats.cycles),
+              clean_stats.ipc());
+  std::printf("with flushes:  %8llu cycles, IPC %.3f, %llu flushes injected\n",
+              static_cast<unsigned long long>(flushed_stats.cycles),
+              flushed_stats.ipc(),
+              static_cast<unsigned long long>(flushed_stats.flushes_injected));
+  std::printf("stale-mapping suppressions: %llu int, %llu fp\n",
+              static_cast<unsigned long long>(
+                  flushed_stats.policy_stats[0].stale_suppressed),
+              static_cast<unsigned long long>(
+                  flushed_stats.policy_stats[1].stale_suppressed));
+
+  const std::uint64_t a = clean->memory().read_u64(result_addr);
+  const std::uint64_t b = flushed->memory().read_u64(result_addr);
+  std::printf("result checksum: clean=%016llx flushed=%016llx -> %s\n",
+              static_cast<unsigned long long>(a),
+              static_cast<unsigned long long>(b),
+              a == b ? "IDENTICAL" : "MISMATCH");
+  std::printf(
+      "\nthe saved state after a flush is not bit-exact (a logical register\n"
+      "may map to a freed physical register), but the lost values are\n"
+      "provably dead: their first subsequent use is a write. That is the\n"
+      "paper's §4.3 precision argument, verified here by the lock-step\n"
+      "oracle on every committed instruction.\n");
+  return a == b ? 0 : 1;
+}

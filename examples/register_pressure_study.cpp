@@ -1,0 +1,63 @@
+// Register-pressure study: sweep the physical register file size for one
+// kernel and print IPC curves for all three release policies — a
+// per-benchmark slice of the paper's Figure 11, with an ASCII plot.
+//
+//   $ ./register_pressure_study [workload]     (default: swim)
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/harness.hpp"
+#include "workloads/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace erel;
+  using core::PolicyKind;
+
+  const std::string name = argc > 1 ? argv[1] : "swim";
+  const workloads::Workload& w = workloads::workload(name);
+  std::printf("workload: %s — %s (%s)\n\n", w.name.c_str(),
+              w.description.c_str(), w.is_fp ? "FP" : "integer");
+
+  const std::vector<PolicyKind> policies = {
+      PolicyKind::Conventional, PolicyKind::Basic, PolicyKind::Extended};
+  const auto& sizes = harness::register_sweep_sizes();
+
+  std::vector<harness::RunSpec> specs;
+  for (const PolicyKind policy : policies)
+    for (const unsigned p : sizes)
+      specs.push_back({name, harness::experiment_config(policy, p), ""});
+  const auto results = harness::run_all(specs);
+
+  TextTable t({"registers", "conv", "basic", "extended", "extended speedup"});
+  double max_ipc = 0;
+  for (const auto& r : results) max_ipc = std::max(max_ipc, r.stats.ipc());
+  std::vector<std::string> plot;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double conv = results[i].stats.ipc();
+    const double basic = results[sizes.size() + i].stats.ipc();
+    const double ext = results[2 * sizes.size() + i].stats.ipc();
+    t.add_row({std::to_string(sizes[i]), TextTable::num(conv),
+               TextTable::num(basic), TextTable::num(ext),
+               TextTable::pct(ext / conv - 1.0)});
+    // ASCII curve: c = conv, e = extended (b omitted for legibility).
+    std::string line(64, ' ');
+    const auto col = [&](double ipc) {
+      return std::min<std::size_t>(62, static_cast<std::size_t>(
+                                           ipc / max_ipc * 60.0));
+    };
+    line[col(conv)] = 'c';
+    line[col(ext)] = line[col(ext)] == 'c' ? '*' : 'e';
+    char label[16];
+    std::snprintf(label, sizeof label, "%4u |", sizes[i]);
+    plot.push_back(std::string(label) + line);
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("IPC curve (c = conventional, e = extended, * = overlap):\n");
+  for (const auto& line : plot) std::printf("%s\n", line.c_str());
+  std::printf("\nreading: where 'e' sits right of 'c' the early-release\n"
+              "mechanism converts dead registers into usable parallelism;\n"
+              "the curves merge once the file is large enough (loose).\n");
+  return 0;
+}

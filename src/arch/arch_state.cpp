@@ -1,0 +1,160 @@
+#include "arch/arch_state.hpp"
+
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "isa/semantics.hpp"
+
+namespace erel::arch {
+
+using isa::DecodedInst;
+using isa::Opcode;
+using isa::RegClass;
+
+void load_program(const Program& program, SparseMemory& mem) {
+  std::vector<std::uint8_t> code_bytes(program.code.size() * 4);
+  for (std::size_t i = 0; i < program.code.size(); ++i)
+    std::memcpy(code_bytes.data() + 4 * i, &program.code[i], 4);
+  mem.write_block(program.code_base, code_bytes);
+  for (const DataSegment& seg : program.data) mem.write_block(seg.base, seg.bytes);
+}
+
+ArchState::ArchState(const Program& program) : pc_(program.entry) {
+  load_program(program, mem_);
+}
+
+std::uint64_t ArchState::int_reg(unsigned idx) const {
+  EREL_CHECK(idx < isa::kNumLogicalRegs);
+  return x_[idx];
+}
+
+std::uint64_t ArchState::fp_reg(unsigned idx) const {
+  EREL_CHECK(idx < isa::kNumLogicalRegs);
+  return f_[idx];
+}
+
+void ArchState::set_int_reg(unsigned idx, std::uint64_t value) {
+  EREL_CHECK(idx < isa::kNumLogicalRegs);
+  if (idx != 0) x_[idx] = value;
+}
+
+void ArchState::set_fp_reg(unsigned idx, std::uint64_t value) {
+  EREL_CHECK(idx < isa::kNumLogicalRegs);
+  f_[idx] = value;
+}
+
+StepInfo ArchState::step() {
+  StepInfo info;
+  info.pc = pc_;
+  if (halted_) {
+    info.halted = true;
+    info.next_pc = pc_;
+    return info;
+  }
+
+  const std::uint32_t word = mem_.read_u32(pc_);
+  const DecodedInst inst = isa::decode(word);
+  info.inst = inst;
+  ++icount_;
+
+  auto src = [this](RegClass cls, unsigned idx) -> std::uint64_t {
+    switch (cls) {
+      case RegClass::Int: return x_[idx];
+      case RegClass::Fp: return f_[idx];
+      case RegClass::None: return 0;
+    }
+    return 0;
+  };
+  const std::uint64_t a = src(inst.src1_class(), inst.rs1);
+  const std::uint64_t b = src(inst.src2_class(), inst.rs2);
+
+  std::uint64_t next_pc = pc_ + 4;
+
+  if (inst.op == Opcode::ILLEGAL) {
+    // An architecturally-executed illegal instruction is a program bug; halt
+    // and flag it so tests catch runaway control flow.
+    info.illegal = true;
+    info.halted = true;
+    halted_ = true;
+    info.next_pc = pc_;
+    return info;
+  }
+
+  if (inst.is_halt()) {
+    halted_ = true;
+    info.halted = true;
+    info.next_pc = pc_;
+    return info;
+  }
+
+  if (inst.is_load()) {
+    const std::uint64_t addr = isa::effective_address(a, inst.imm);
+    std::uint64_t value = mem_.read(addr, inst.mem_bytes());
+    if (inst.op == Opcode::LW) value = static_cast<std::uint64_t>(sext(value, 32));
+    info.is_load = true;
+    info.mem_addr = addr;
+    info.mem_bytes = inst.mem_bytes();
+    info.has_dst = inst.has_dst();
+    info.dst_class = inst.dst_class();
+    info.dst_reg = inst.rd;
+    info.dst_value = value;
+    if (info.has_dst) {
+      if (info.dst_class == RegClass::Int) set_int_reg(inst.rd, value);
+      else set_fp_reg(inst.rd, value);
+    }
+  } else if (inst.is_store()) {
+    const std::uint64_t addr = isa::effective_address(a, inst.imm);
+    info.is_store = true;
+    info.mem_addr = addr;
+    info.mem_bytes = inst.mem_bytes();
+    info.store_value = b;
+    mem_.write(addr, b, inst.mem_bytes());
+  } else if (inst.is_cond_branch()) {
+    if (isa::branch_taken(inst.op, a, b))
+      next_pc = pc_ + static_cast<std::uint64_t>(std::int64_t{inst.imm} * 4);
+  } else if (inst.is_direct_jump()) {
+    info.has_dst = inst.has_dst();
+    info.dst_class = RegClass::Int;
+    info.dst_reg = inst.rd;
+    info.dst_value = pc_ + 4;
+    if (info.has_dst) set_int_reg(inst.rd, pc_ + 4);
+    next_pc = pc_ + static_cast<std::uint64_t>(std::int64_t{inst.imm} * 4);
+  } else if (inst.is_indirect_jump()) {
+    // Link value is read before the target in case rd == rs1.
+    const std::uint64_t target =
+        (a + static_cast<std::uint64_t>(std::int64_t{inst.imm})) & ~std::uint64_t{3};
+    info.has_dst = inst.has_dst();
+    info.dst_class = RegClass::Int;
+    info.dst_reg = inst.rd;
+    info.dst_value = pc_ + 4;
+    if (info.has_dst) set_int_reg(inst.rd, pc_ + 4);
+    next_pc = target;
+  } else {
+    // Plain ALU / FPU operation.
+    const std::uint64_t value = isa::exec_alu(inst.op, a, b, inst.imm);
+    info.has_dst = inst.has_dst();
+    info.dst_class = inst.dst_class();
+    info.dst_reg = inst.rd;
+    info.dst_value = value;
+    if (info.has_dst) {
+      if (info.dst_class == RegClass::Int) set_int_reg(inst.rd, value);
+      else set_fp_reg(inst.rd, value);
+    }
+  }
+
+  pc_ = next_pc;
+  info.next_pc = next_pc;
+  return info;
+}
+
+std::uint64_t ArchState::run(std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (!halted_ && steps < max_steps) {
+    step();
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace erel::arch

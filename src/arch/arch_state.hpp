@@ -1,0 +1,78 @@
+// Architectural (in-order, functional) simulator.
+//
+// This is the oracle the timing pipeline is checked against: it executes one
+// instruction at a time with precise sequential semantics. It is also used
+// standalone to validate workload checksums and to count dynamic
+// instructions (Table 3 reproduction).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "arch/memory.hpp"
+#include "arch/program.hpp"
+#include "isa/isa.hpp"
+
+namespace erel::arch {
+
+/// Outcome of one architectural step, rich enough for co-simulation: the
+/// timing model's commit stage compares pc / destination / memory effects
+/// against this record.
+struct StepInfo {
+  std::uint64_t pc = 0;
+  std::uint64_t next_pc = 0;
+  isa::DecodedInst inst;
+  bool has_dst = false;
+  isa::RegClass dst_class = isa::RegClass::None;
+  std::uint8_t dst_reg = 0;
+  std::uint64_t dst_value = 0;
+  bool is_store = false;
+  bool is_load = false;
+  std::uint64_t mem_addr = 0;
+  unsigned mem_bytes = 0;
+  std::uint64_t store_value = 0;
+  bool halted = false;
+  bool illegal = false;  // committed an ILLEGAL opcode (a program bug)
+};
+
+class ArchState {
+ public:
+  /// Loads a program: copies code + data into memory and sets the PC.
+  explicit ArchState(const Program& program);
+
+  /// Executes exactly one instruction. Returns the step record; after a HALT
+  /// the state is frozen and further steps keep returning halted records.
+  StepInfo step();
+
+  /// Runs until HALT or `max_steps`; returns executed instruction count.
+  std::uint64_t run(std::uint64_t max_steps = ~0ull);
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] std::uint64_t pc() const { return pc_; }
+  [[nodiscard]] std::uint64_t instructions_executed() const { return icount_; }
+
+  [[nodiscard]] std::uint64_t int_reg(unsigned idx) const;
+  [[nodiscard]] std::uint64_t fp_reg(unsigned idx) const;
+  void set_int_reg(unsigned idx, std::uint64_t value);
+  void set_fp_reg(unsigned idx, std::uint64_t value);
+
+  SparseMemory& memory() { return mem_; }
+  const SparseMemory& memory() const { return mem_; }
+
+  /// Forces the PC (used by exception-replay tests).
+  void set_pc(std::uint64_t pc) { pc_ = pc; }
+
+ private:
+  std::array<std::uint64_t, isa::kNumLogicalRegs> x_{};  // x_[0] stays 0
+  std::array<std::uint64_t, isa::kNumLogicalRegs> f_{};
+  SparseMemory mem_;
+  std::uint64_t pc_ = 0;
+  std::uint64_t icount_ = 0;
+  bool halted_ = false;
+};
+
+/// Loads `program` into `mem` (shared by ArchState and the timing simulator).
+void load_program(const Program& program, SparseMemory& mem);
+
+}  // namespace erel::arch

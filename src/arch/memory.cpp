@@ -1,0 +1,53 @@
+#include "arch/memory.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace erel::arch {
+
+const SparseMemory::Page* SparseMemory::find_page(std::uint64_t addr) const {
+  const auto it = pages_.find(addr / kPageBytes);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+SparseMemory::Page& SparseMemory::touch_page(std::uint64_t addr) {
+  auto& slot = pages_[addr / kPageBytes];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+std::uint64_t SparseMemory::read(std::uint64_t addr, unsigned size) const {
+  EREL_CHECK(size == 1 || size == 2 || size == 4 || size == 8);
+  EREL_CHECK(addr % size == 0, "unaligned read of ", size, " at ", addr);
+  const Page* page = find_page(addr);
+  if (page == nullptr) return 0;
+  std::uint64_t value = 0;
+  std::memcpy(&value, page->data() + addr % kPageBytes, size);
+  return value;  // little-endian host ensures zero-extension semantics
+}
+
+void SparseMemory::write(std::uint64_t addr, std::uint64_t value,
+                         unsigned size) {
+  EREL_CHECK(size == 1 || size == 2 || size == 4 || size == 8);
+  EREL_CHECK(addr % size == 0, "unaligned write of ", size, " at ", addr);
+  Page& page = touch_page(addr);
+  std::memcpy(page.data() + addr % kPageBytes, &value, size);
+}
+
+void SparseMemory::write_block(std::uint64_t addr,
+                               std::span<const std::uint8_t> bytes) {
+  for (std::size_t i = 0; i < bytes.size();) {
+    Page& page = touch_page(addr + i);
+    const std::uint64_t off = (addr + i) % kPageBytes;
+    const std::size_t chunk =
+        std::min<std::size_t>(bytes.size() - i, kPageBytes - off);
+    std::memcpy(page.data() + off, bytes.data() + i, chunk);
+    i += chunk;
+  }
+}
+
+}  // namespace erel::arch

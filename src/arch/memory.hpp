@@ -1,0 +1,49 @@
+// Sparse byte-addressable memory backing both the functional oracle and the
+// timing simulator's committed state. Pages materialize on first touch;
+// reads of untouched memory return zero (wrong-path accesses must never
+// fault or allocate).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+namespace erel::arch {
+
+class SparseMemory {
+ public:
+  static constexpr std::uint64_t kPageBytes = 4096;
+
+  /// Naturally-aligned scalar accessors. `size` in {1, 2, 4, 8}; loads
+  /// zero-extend into the 64-bit result.
+  [[nodiscard]] std::uint64_t read(std::uint64_t addr, unsigned size) const;
+  void write(std::uint64_t addr, std::uint64_t value, unsigned size);
+
+  [[nodiscard]] std::uint8_t read_u8(std::uint64_t addr) const {
+    return static_cast<std::uint8_t>(read(addr, 1));
+  }
+  [[nodiscard]] std::uint32_t read_u32(std::uint64_t addr) const {
+    return static_cast<std::uint32_t>(read(addr, 4));
+  }
+  [[nodiscard]] std::uint64_t read_u64(std::uint64_t addr) const {
+    return read(addr, 8);
+  }
+
+  /// Bulk copy-in used by the program loader.
+  void write_block(std::uint64_t addr, std::span<const std::uint8_t> bytes);
+
+  /// Number of pages materialized so far (observability for tests).
+  [[nodiscard]] std::size_t resident_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<std::uint8_t, kPageBytes>;
+
+  [[nodiscard]] const Page* find_page(std::uint64_t addr) const;
+  Page& touch_page(std::uint64_t addr);
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace erel::arch

@@ -1,0 +1,735 @@
+#include "asmkit/assembler.hpp"
+
+#include <charconv>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "isa/isa.hpp"
+
+namespace erel::asmkit {
+
+namespace {
+
+using arch::Program;
+using isa::DecodedInst;
+using isa::Format;
+using isa::Opcode;
+using isa::RegClass;
+
+struct Operand {
+  std::string text;
+};
+
+struct Line {
+  int number = 0;
+  std::string label;      // empty if none
+  std::string mnemonic;   // empty if label-only / directive-only line
+  std::vector<std::string> operands;
+  bool is_directive = false;
+};
+
+/// Strips comments and surrounding whitespace.
+std::string clean_line(std::string_view raw) {
+  std::string s{raw};
+  for (const char* marker : {"#", ";", "//"}) {
+    if (const auto pos = s.find(marker); pos != std::string::npos)
+      s.erase(pos);
+  }
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+std::vector<std::string> split_operands(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : text) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  for (auto& op : out) {
+    const auto f = op.find_first_not_of(" \t");
+    if (f == std::string::npos) {
+      op.clear();
+      continue;
+    }
+    const auto l = op.find_last_not_of(" \t");
+    op = op.substr(f, l - f + 1);
+  }
+  while (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+/// Assembler context shared by both passes.
+class Assembler {
+ public:
+  explicit Assembler(std::string_view source) { parse(source); }
+
+  Program build() {
+    pass_sizes();
+    pass_emit();
+    if (!errors_.empty()) {
+      std::ostringstream os;
+      os << errors_.size() << " assembly error(s):\n";
+      for (const auto& e : errors_) os << "  " << e << '\n';
+      throw AsmError(os.str());
+    }
+    if (const auto it = program_.symbols.find("main");
+        it != program_.symbols.end()) {
+      program_.entry = it->second;
+    } else if (const auto it2 = program_.symbols.find("_start");
+               it2 != program_.symbols.end()) {
+      program_.entry = it2->second;
+    }
+    return std::move(program_);
+  }
+
+ private:
+  // ---- parsing ----
+
+  void parse(std::string_view source) {
+    int number = 0;
+    std::size_t start = 0;
+    while (start <= source.size()) {
+      const auto nl = source.find('\n', start);
+      const std::string_view raw =
+          source.substr(start, nl == std::string_view::npos ? std::string_view::npos
+                                                            : nl - start);
+      ++number;
+      parse_line(raw, number);
+      if (nl == std::string_view::npos) break;
+      start = nl + 1;
+    }
+  }
+
+  void parse_line(std::string_view raw, int number) {
+    std::string text = clean_line(raw);
+    if (text.empty()) return;
+
+    Line line;
+    line.number = number;
+
+    // Leading label(s). Multiple labels on one line are allowed.
+    for (;;) {
+      std::size_t i = 0;
+      while (i < text.size() && is_ident_char(text[i])) ++i;
+      if (i == 0 || i >= text.size() || text[i] != ':') break;
+      const std::string label = text.substr(0, i);
+      if (!line.label.empty()) {
+        // Emit the earlier label as its own line so both bind here.
+        Line l;
+        l.number = number;
+        l.label = line.label;
+        lines_.push_back(l);
+      }
+      line.label = label;
+      text = clean_line(text.substr(i + 1));
+      if (text.empty()) break;
+    }
+
+    if (!text.empty()) {
+      const auto sp = text.find_first_of(" \t");
+      line.mnemonic = text.substr(0, sp);
+      if (sp != std::string::npos)
+        line.operands = split_operands(text.substr(sp + 1));
+      line.is_directive = line.mnemonic[0] == '.';
+    }
+    lines_.push_back(std::move(line));
+  }
+
+  // ---- shared helpers ----
+
+  void error(const Line& line, const std::string& msg) {
+    errors_.push_back("line " + std::to_string(line.number) + ": " + msg);
+  }
+
+  static std::optional<std::int64_t> parse_int(std::string_view text) {
+    if (text.empty()) return std::nullopt;
+    bool negative = false;
+    if (text[0] == '-' || text[0] == '+') {
+      negative = text[0] == '-';
+      text.remove_prefix(1);
+    }
+    int base = 10;
+    if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+      base = 16;
+      text.remove_prefix(2);
+    }
+    std::uint64_t magnitude = 0;
+    const auto* end = text.data() + text.size();
+    const auto res = std::from_chars(text.data(), end, magnitude, base);
+    if (res.ec != std::errc{} || res.ptr != end) return std::nullopt;
+    const auto value = static_cast<std::int64_t>(magnitude);
+    return negative ? -value : value;
+  }
+
+  std::optional<unsigned> parse_reg(std::string_view text, RegClass cls) {
+    if (text == "zero") return cls == RegClass::Int ? std::optional<unsigned>{0}
+                                                    : std::nullopt;
+    if (text == "ra") return cls == RegClass::Int ? std::optional<unsigned>{1}
+                                                  : std::nullopt;
+    if (text == "sp") return cls == RegClass::Int ? std::optional<unsigned>{2}
+                                                  : std::nullopt;
+    if (text.size() < 2) return std::nullopt;
+    const char prefix = cls == RegClass::Fp ? 'f' : 'r';
+    if (text[0] != prefix) return std::nullopt;
+    const auto idx = parse_int(text.substr(1));
+    if (!idx || *idx < 0 || *idx >= isa::kNumLogicalRegs) return std::nullopt;
+    return static_cast<unsigned>(*idx);
+  }
+
+  /// Value of an operand that may be a literal or a label (pass 2 only).
+  std::optional<std::int64_t> value_of(const Line& line, std::string_view text) {
+    if (const auto lit = parse_int(text)) return lit;
+    const auto it = program_.symbols.find(std::string{text});
+    if (it != program_.symbols.end())
+      return static_cast<std::int64_t>(it->second);
+    error(line, "undefined symbol or bad literal '" + std::string{text} + "'");
+    return std::nullopt;
+  }
+
+  // ---- pseudo-instruction expansion ----
+
+  /// Emits `li rd, value` as 1, 2 or 8 real instructions.
+  static std::vector<DecodedInst> expand_li(unsigned rd, std::int64_t value) {
+    std::vector<DecodedInst> out;
+    auto mk = [](Opcode op, unsigned d, unsigned s1, std::int32_t imm) {
+      DecodedInst i;
+      i.op = op;
+      i.rd = static_cast<std::uint8_t>(d);
+      i.rs1 = static_cast<std::uint8_t>(s1);
+      i.imm = imm;
+      return i;
+    };
+    if (fits_signed(value, 14)) {
+      out.push_back(mk(Opcode::ADDI, rd, 0, static_cast<std::int32_t>(value)));
+      return out;
+    }
+    if (value >= INT32_MIN && value <= INT32_MAX) {
+      const auto v = static_cast<std::int32_t>(value);
+      const std::int32_t hi = v >> 13;           // fits in 19 signed bits
+      const std::int32_t lo = v & 0x1fff;        // 13 bits, zero-extended ORI
+      out.push_back(mk(Opcode::LUI, rd, 0, hi));
+      if (lo != 0) out.push_back(mk(Opcode::ORI, rd, rd, lo));
+      return out;
+    }
+    // Full 64-bit materialization: top 32 bits as a 32-bit li, then three
+    // shift+or steps injecting 13+13+6 low bits.
+    const auto v = static_cast<std::uint64_t>(value);
+    const auto top = static_cast<std::int32_t>(v >> 32);
+    out.push_back(mk(Opcode::LUI, rd, 0, top >> 13));
+    out.push_back(mk(Opcode::ORI, rd, rd, top & 0x1fff));
+    out.push_back(mk(Opcode::SLLI, rd, rd, 13));
+    out.push_back(mk(Opcode::ORI, rd, rd, static_cast<std::int32_t>((v >> 19) & 0x1fff)));
+    out.push_back(mk(Opcode::SLLI, rd, rd, 13));
+    out.push_back(mk(Opcode::ORI, rd, rd, static_cast<std::int32_t>((v >> 6) & 0x1fff)));
+    out.push_back(mk(Opcode::SLLI, rd, rd, 6));
+    out.push_back(mk(Opcode::ORI, rd, rd, static_cast<std::int32_t>(v & 0x3f)));
+    return out;
+  }
+
+  /// Number of instructions `li` will occupy (needed by pass 1 before
+  /// symbols resolve; `la` is always the 2-instruction 32-bit form).
+  static std::size_t li_size(std::int64_t value) {
+    if (fits_signed(value, 14)) return 1;
+    if (value >= INT32_MIN && value <= INT32_MAX)
+      return (value & 0x1fff) != 0 ? 2 : 1;
+    return 8;
+  }
+
+  /// Rewrites pseudo mnemonics into real ones; returns instruction count for
+  /// sizing. Pass 2 calls emit=true to push encoded words.
+  std::size_t handle_instruction(const Line& line, bool emit) {
+    const std::string& m = line.mnemonic;
+    const auto& ops = line.operands;
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n) {
+        if (emit)
+          error(line, m + " expects " + std::to_string(n) + " operands, got " +
+                          std::to_string(ops.size()));
+        return false;
+      }
+      return true;
+    };
+
+    // --- pseudo-instructions ---
+    if (m == "nop") {
+      if (emit) emit_inst(line, Opcode::ADDI, 0, 0, 0, 0);
+      return 1;
+    }
+    if (m == "mv") {
+      if (!need(2)) return 1;
+      if (emit) {
+        const auto rd = reg_or_err(line, ops[0], RegClass::Int);
+        const auto rs = reg_or_err(line, ops[1], RegClass::Int);
+        emit_inst(line, Opcode::ADDI, rd, rs, 0, 0);
+      }
+      return 1;
+    }
+    if (m == "not") {
+      if (!need(2)) return 1;
+      if (emit) {
+        const auto rd = reg_or_err(line, ops[0], RegClass::Int);
+        const auto rs = reg_or_err(line, ops[1], RegClass::Int);
+        emit_inst(line, Opcode::XORI, rd, rs, 0, -1);
+      }
+      return 1;
+    }
+    if (m == "neg") {
+      if (!need(2)) return 1;
+      if (emit) {
+        const auto rd = reg_or_err(line, ops[0], RegClass::Int);
+        const auto rs = reg_or_err(line, ops[1], RegClass::Int);
+        emit_inst(line, Opcode::SUB, rd, 0, rs, 0);
+      }
+      return 1;
+    }
+    if (m == "li") {
+      if (!need(2)) return 1;
+      const auto value = parse_int(ops[1]);
+      if (!value) {
+        if (emit) error(line, "li needs a literal constant (use la for labels)");
+        return 1;
+      }
+      if (emit) {
+        const auto rd = reg_or_err(line, ops[0], RegClass::Int);
+        for (const DecodedInst& inst : expand_li(rd, *value))
+          push_encoded(inst);
+      }
+      return li_size(*value);
+    }
+    if (m == "la") {
+      if (!need(2)) return 2;
+      if (emit) {
+        const auto rd = reg_or_err(line, ops[0], RegClass::Int);
+        const auto value = value_of(line, ops[1]);
+        if (value) {
+          if (*value < 0 || *value > INT32_MAX) {
+            error(line, "la target out of 31-bit range");
+          } else {
+            const auto v = static_cast<std::int32_t>(*value);
+            emit_inst(line, Opcode::LUI, rd, 0, 0, v >> 13);
+            emit_inst(line, Opcode::ORI, rd, rd, 0, v & 0x1fff);
+            return 2;
+          }
+        }
+        // Error path: keep sizes consistent with pass 1.
+        emit_inst(line, Opcode::ADDI, rd, 0, 0, 0);
+        emit_inst(line, Opcode::ADDI, rd, 0, 0, 0);
+      }
+      return 2;
+    }
+    if (m == "b" || m == "j") {
+      if (!need(1)) return 1;
+      if (emit) emit_jump(line, 0, ops[0]);
+      return 1;
+    }
+    if (m == "call") {
+      if (!need(1)) return 1;
+      if (emit) emit_jump(line, 1, ops[0]);  // link into ra
+      return 1;
+    }
+    if (m == "ret") {
+      if (emit) emit_inst(line, Opcode::JALR, 0, 1, 0, 0);
+      return 1;
+    }
+    if (m == "beqz" || m == "bnez") {
+      if (!need(2)) return 1;
+      if (emit) {
+        const auto rs = reg_or_err(line, ops[0], RegClass::Int);
+        emit_branch(line, m == "beqz" ? Opcode::BEQ : Opcode::BNE, rs, 0,
+                    ops[1]);
+      }
+      return 1;
+    }
+    if (m == "bgt" || m == "ble" || m == "bgtu" || m == "bleu") {
+      if (!need(3)) return 1;
+      if (emit) {
+        const auto rs1 = reg_or_err(line, ops[0], RegClass::Int);
+        const auto rs2 = reg_or_err(line, ops[1], RegClass::Int);
+        const Opcode op = (m == "bgt")    ? Opcode::BLT
+                          : (m == "ble")  ? Opcode::BGE
+                          : (m == "bgtu") ? Opcode::BLTU
+                                          : Opcode::BGEU;
+        emit_branch(line, op, rs2, rs1, ops[2]);  // swapped operands
+      }
+      return 1;
+    }
+
+    // --- real instructions ---
+    const auto opcode = isa::opcode_from_mnemonic(m);
+    if (!opcode) {
+      if (emit) error(line, "unknown mnemonic '" + m + "'");
+      return 1;
+    }
+    if (emit) emit_real(line, *opcode);
+    return 1;
+  }
+
+  unsigned reg_or_err(const Line& line, std::string_view text, RegClass cls) {
+    const auto r = parse_reg(text, cls);
+    if (!r) {
+      error(line, std::string("bad ") +
+                      (cls == RegClass::Fp ? "fp" : "int") + " register '" +
+                      std::string{text} + "'");
+      return 0;
+    }
+    return *r;
+  }
+
+  void push_encoded(const DecodedInst& inst) {
+    program_.code.push_back(isa::encode(inst));
+  }
+
+  void emit_inst(const Line& line, Opcode op, unsigned rd, unsigned rs1,
+                 unsigned rs2, std::int32_t imm) {
+    DecodedInst inst;
+    inst.op = op;
+    inst.rd = static_cast<std::uint8_t>(rd);
+    inst.rs1 = static_cast<std::uint8_t>(rs1);
+    inst.rs2 = static_cast<std::uint8_t>(rs2);
+    inst.imm = imm;
+    const unsigned width = [&] {
+      switch (isa::op_info(op).format) {
+        case Format::I: return isa::kImmBitsI;
+        case Format::U: return isa::kImmBitsU;
+        case Format::B: return isa::kImmBitsB;
+        case Format::S: return isa::kImmBitsS;
+        case Format::J: return isa::kImmBitsJ;
+        default: return 32u;
+      }
+    }();
+    if (width < 32 && !fits_signed(imm, width)) {
+      error(line, "immediate " + std::to_string(imm) + " does not fit in " +
+                      std::to_string(width) + " bits");
+      inst.imm = 0;
+    }
+    push_encoded(inst);
+  }
+
+  void emit_branch(const Line& line, Opcode op, unsigned rs1, unsigned rs2,
+                   std::string_view target) {
+    const auto value = value_of(line, target);
+    std::int64_t offset = 0;
+    if (value) {
+      const std::int64_t delta =
+          *value - static_cast<std::int64_t>(current_pc());
+      if (delta % 4 != 0) {
+        error(line, "branch target not instruction-aligned");
+      } else {
+        offset = delta / 4;
+      }
+    }
+    emit_inst(line, op, 0, rs1, rs2, static_cast<std::int32_t>(offset));
+  }
+
+  void emit_jump(const Line& line, unsigned rd, std::string_view target) {
+    const auto value = value_of(line, target);
+    std::int64_t offset = 0;
+    if (value) {
+      const std::int64_t delta =
+          *value - static_cast<std::int64_t>(current_pc());
+      if (delta % 4 != 0) {
+        error(line, "jump target not instruction-aligned");
+      } else {
+        offset = delta / 4;
+      }
+    }
+    emit_inst(line, Opcode::JAL, rd, 0, 0, static_cast<std::int32_t>(offset));
+  }
+
+  [[nodiscard]] std::uint64_t current_pc() const {
+    return program_.code_base + 4 * program_.code.size();
+  }
+
+  void emit_real(const Line& line, Opcode op) {
+    const isa::OpInfo& info = isa::op_info(op);
+    const auto& ops = line.operands;
+    auto expect = [&](std::size_t n) {
+      if (ops.size() != n) {
+        error(line, std::string{info.mnemonic} + " expects " +
+                        std::to_string(n) + " operands, got " +
+                        std::to_string(ops.size()));
+        return false;
+      }
+      return true;
+    };
+
+    switch (info.format) {
+      case Format::R: {
+        const bool two_ops = info.src2 == RegClass::None;
+        if (!expect(two_ops ? 2 : 3)) return;
+        const unsigned rd = reg_or_err(line, ops[0], info.dst);
+        const unsigned rs1 = reg_or_err(line, ops[1], info.src1);
+        const unsigned rs2 = two_ops ? 0 : reg_or_err(line, ops[2], info.src2);
+        emit_inst(line, op, rd, rs1, rs2, 0);
+        return;
+      }
+      case Format::I: {
+        if (info.flags & isa::kFlagLoad) {
+          if (!expect(2)) return;
+          const unsigned rd = reg_or_err(line, ops[0], info.dst);
+          auto [imm, base] = parse_mem_operand(line, ops[1]);
+          emit_inst(line, op, rd, base, 0, imm);
+          return;
+        }
+        if (info.flags & isa::kFlagIndirectJump) {
+          if (ops.size() == 2) {  // jalr rd, rs1
+            const unsigned rd = reg_or_err(line, ops[0], RegClass::Int);
+            const unsigned rs1 = reg_or_err(line, ops[1], RegClass::Int);
+            emit_inst(line, op, rd, rs1, 0, 0);
+            return;
+          }
+          if (!expect(3)) return;
+          const unsigned rd = reg_or_err(line, ops[0], RegClass::Int);
+          const unsigned rs1 = reg_or_err(line, ops[1], RegClass::Int);
+          const auto imm = value_of(line, ops[2]);
+          emit_inst(line, op, rd, rs1, 0,
+                    static_cast<std::int32_t>(imm.value_or(0)));
+          return;
+        }
+        if (!expect(3)) return;
+        const unsigned rd = reg_or_err(line, ops[0], info.dst);
+        const unsigned rs1 = reg_or_err(line, ops[1], info.src1);
+        const auto imm = value_of(line, ops[2]);
+        emit_inst(line, op, rd, rs1, 0,
+                  static_cast<std::int32_t>(imm.value_or(0)));
+        return;
+      }
+      case Format::U: {
+        if (!expect(2)) return;
+        const unsigned rd = reg_or_err(line, ops[0], info.dst);
+        const auto imm = value_of(line, ops[1]);
+        emit_inst(line, op, rd, 0, 0, static_cast<std::int32_t>(imm.value_or(0)));
+        return;
+      }
+      case Format::B: {
+        if (!expect(3)) return;
+        const unsigned rs1 = reg_or_err(line, ops[0], info.src1);
+        const unsigned rs2 = reg_or_err(line, ops[1], info.src2);
+        emit_branch(line, op, rs1, rs2, ops[2]);
+        return;
+      }
+      case Format::S: {
+        if (!expect(2)) return;
+        const unsigned rs2 = reg_or_err(line, ops[0], info.src2);
+        auto [imm, base] = parse_mem_operand(line, ops[1]);
+        emit_inst(line, op, 0, base, rs2, imm);
+        return;
+      }
+      case Format::J: {
+        if (ops.size() == 1) {
+          emit_jump(line, 1, ops[0]);  // `jal label` links into ra
+          return;
+        }
+        if (!expect(2)) return;
+        const unsigned rd = reg_or_err(line, ops[0], RegClass::Int);
+        emit_jump(line, rd, ops[1]);
+        return;
+      }
+      case Format::N:
+        if (!expect(0)) return;
+        emit_inst(line, op, 0, 0, 0, 0);
+        return;
+    }
+  }
+
+  /// Parses `imm(base)`, `(base)` or `label(base)` memory operands.
+  std::pair<std::int32_t, unsigned> parse_mem_operand(const Line& line,
+                                                      std::string_view text) {
+    const auto open = text.find('(');
+    const auto close = text.rfind(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open) {
+      error(line, "bad memory operand '" + std::string{text} + "'");
+      return {0, 0};
+    }
+    const std::string_view imm_text = text.substr(0, open);
+    const std::string_view base_text = text.substr(open + 1, close - open - 1);
+    std::int64_t imm = 0;
+    if (!imm_text.empty()) {
+      const auto v = value_of(line, imm_text);
+      imm = v.value_or(0);
+    }
+    const unsigned base = reg_or_err(line, base_text, RegClass::Int);
+    return {static_cast<std::int32_t>(imm), base};
+  }
+
+  // ---- data directives ----
+
+  /// Handles a directive; returns bytes occupied (pass 1 sizing) and appends
+  /// to the data image when emitting.
+  std::size_t handle_directive(const Line& line, bool emit) {
+    const std::string& m = line.mnemonic;
+    const auto& ops = line.operands;
+    if (m == ".text" || m == ".data" || m == ".globl" || m == ".global")
+      return 0;  // section switching handled by caller; .globl is a no-op
+
+    auto push_scalar = [&](std::uint64_t value, unsigned size) {
+      if (!emit) return;
+      for (unsigned i = 0; i < size; ++i)
+        data_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+    };
+
+    if (m == ".word" || m == ".dword") {
+      const unsigned size = m == ".word" ? 4 : 8;
+      for (const auto& op : ops) {
+        if (emit) {
+          const auto v = value_of(line, op);
+          push_scalar(static_cast<std::uint64_t>(v.value_or(0)), size);
+        }
+      }
+      return size * ops.size();
+    }
+    if (m == ".double") {
+      for (const auto& op : ops) {
+        if (emit) {
+          char* end = nullptr;
+          const double d = std::strtod(op.c_str(), &end);
+          if (end != op.c_str() + op.size())
+            error(line, "bad double literal '" + op + "'");
+          push_scalar(f2u(d), 8);
+        }
+      }
+      return 8 * ops.size();
+    }
+    if (m == ".space") {
+      if (ops.size() != 1) {
+        if (emit) error(line, ".space expects a byte count");
+        return 0;
+      }
+      const auto n = parse_int(ops[0]);
+      if (!n || *n < 0) {
+        if (emit) error(line, "bad .space count");
+        return 0;
+      }
+      if (emit) data_.insert(data_.end(), static_cast<std::size_t>(*n), 0);
+      return static_cast<std::size_t>(*n);
+    }
+    if (m == ".align") {
+      if (ops.size() != 1) {
+        if (emit) error(line, ".align expects an alignment");
+        return 0;
+      }
+      const auto n = parse_int(ops[0]);
+      if (!n || *n <= 0 || !is_pow2(static_cast<std::uint64_t>(*n))) {
+        if (emit) error(line, "bad .align value");
+        return 0;
+      }
+      const auto align = static_cast<std::size_t>(*n);
+      const std::size_t here = emit ? data_.size() : size_cursor_;
+      const std::size_t pad = (align - here % align) % align;
+      if (emit) data_.insert(data_.end(), pad, 0);
+      return pad;
+    }
+    if (m == ".fill") {
+      if (ops.size() != 2) {
+        if (emit) error(line, ".fill expects count, bytevalue");
+        return 0;
+      }
+      const auto count = parse_int(ops[0]);
+      const auto value = parse_int(ops[1]);
+      if (!count || *count < 0 || !value) {
+        if (emit) error(line, "bad .fill operands");
+        return 0;
+      }
+      if (emit)
+        data_.insert(data_.end(), static_cast<std::size_t>(*count),
+                     static_cast<std::uint8_t>(*value));
+      return static_cast<std::size_t>(*count);
+    }
+    if (emit) error(line, "unknown directive '" + m + "'");
+    return 0;
+  }
+
+  // ---- passes ----
+
+  void pass_sizes() {
+    bool in_text = true;
+    std::uint64_t text_cursor = program_.code_base;
+    std::uint64_t data_cursor = arch::kDefaultDataBase;
+    for (const Line& line : lines_) {
+      if (!line.label.empty()) {
+        const std::uint64_t here = in_text ? text_cursor : data_cursor;
+        if (program_.symbols.contains(line.label))
+          error(line, "duplicate label '" + line.label + "'");
+        program_.symbols[line.label] = here;
+      }
+      if (line.mnemonic.empty()) continue;
+      if (line.is_directive) {
+        if (line.mnemonic == ".text") {
+          in_text = true;
+          continue;
+        }
+        if (line.mnemonic == ".data") {
+          in_text = false;
+          continue;
+        }
+        if (in_text) {
+          error(line, "data directive in .text section");
+          continue;
+        }
+        size_cursor_ = data_cursor - arch::kDefaultDataBase;
+        data_cursor += handle_directive(line, /*emit=*/false);
+      } else {
+        if (!in_text) {
+          error(line, "instruction in .data section");
+          continue;
+        }
+        text_cursor += 4 * handle_instruction(line, /*emit=*/false);
+      }
+    }
+  }
+
+  void pass_emit() {
+    bool in_text = true;
+    for (const Line& line : lines_) {
+      if (line.mnemonic.empty()) continue;
+      if (line.is_directive) {
+        if (line.mnemonic == ".text") {
+          in_text = true;
+          continue;
+        }
+        if (line.mnemonic == ".data") {
+          in_text = false;
+          continue;
+        }
+        if (!in_text) handle_directive(line, /*emit=*/true);
+      } else if (in_text) {
+        handle_instruction(line, /*emit=*/true);
+      }
+    }
+    if (!data_.empty()) {
+      arch::DataSegment seg;
+      seg.base = arch::kDefaultDataBase;
+      seg.bytes = std::move(data_);
+      program_.data.push_back(std::move(seg));
+    }
+  }
+
+  std::vector<Line> lines_;
+  std::vector<std::string> errors_;
+  Program program_;
+  std::vector<std::uint8_t> data_;
+  std::size_t size_cursor_ = 0;
+};
+
+}  // namespace
+
+Program assemble(std::string_view source) { return Assembler{source}.build(); }
+
+}  // namespace erel::asmkit

@@ -1,0 +1,36 @@
+// Two-pass assembler for the erelsim ISA.
+//
+// Syntax summary (see README for the full reference):
+//   - Comments: '#', ';' or '//' to end of line.
+//   - Labels: `name:` at line start; label addresses are section-relative.
+//   - Sections: `.text` (default, at 0x10000) and `.data` (at 0x100000).
+//   - Data directives: .word, .dword, .double, .space N, .align N,
+//     .fill COUNT, BYTEVALUE. `.dword label` stores a pointer.
+//   - Registers: r0..r31 / f0..f31 plus aliases zero (r0), ra (r1), sp (r2).
+//   - Pseudo-instructions: nop, mv, li (any 64-bit constant), la, not, neg,
+//     b, beqz, bnez, bgt, ble, bgtu, bleu, call, ret, j.
+//
+// The assembler reports every error it finds (not just the first) with line
+// numbers, then throws AsmError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "arch/program.hpp"
+
+namespace erel::asmkit {
+
+class AsmError : public std::runtime_error {
+ public:
+  explicit AsmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Assembles `source` into a loadable program. Throws AsmError with all
+/// collected diagnostics on failure. If a `main` or `_start` label exists it
+/// becomes the entry point; otherwise execution starts at the first
+/// instruction.
+arch::Program assemble(std::string_view source);
+
+}  // namespace erel::asmkit

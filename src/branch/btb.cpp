@@ -1,0 +1,52 @@
+#include "branch/btb.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace erel::branch {
+
+Btb::Btb(unsigned entries, unsigned ways) : ways_(ways) {
+  EREL_CHECK(ways > 0 && entries % ways == 0);
+  sets_ = entries / ways;
+  EREL_CHECK(is_pow2(sets_));
+  entries_.resize(entries);
+}
+
+std::size_t Btb::set_of(std::uint64_t pc) const {
+  return (pc >> 2) & (sets_ - 1);
+}
+
+std::optional<std::uint64_t> Btb::lookup(std::uint64_t pc) const {
+  const std::size_t set = set_of(pc);
+  for (unsigned w = 0; w < ways_; ++w) {
+    const Entry& e = entries_[set * ways_ + w];
+    if (e.valid && e.tag == pc) return e.target;
+  }
+  return std::nullopt;
+}
+
+void Btb::update(std::uint64_t pc, std::uint64_t target) {
+  const std::size_t set = set_of(pc);
+  Entry* victim = nullptr;
+  for (unsigned w = 0; w < ways_; ++w) {
+    Entry& e = entries_[set * ways_ + w];
+    if (e.valid && e.tag == pc) {
+      e.target = target;
+      e.lru = ++lru_clock_;
+      return;
+    }
+    if (!e.valid) {
+      if (victim == nullptr || victim->valid) victim = &e;
+    } else if (victim == nullptr ||
+               (victim->valid && e.lru < victim->lru)) {
+      victim = &e;
+    }
+  }
+  EREL_CHECK(victim != nullptr);
+  victim->valid = true;
+  victim->tag = pc;
+  victim->target = target;
+  victim->lru = ++lru_clock_;
+}
+
+}  // namespace erel::branch

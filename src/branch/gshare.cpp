@@ -1,0 +1,47 @@
+#include "branch/gshare.hpp"
+
+#include "common/log.hpp"
+
+namespace erel::branch {
+
+Gshare::Gshare(unsigned history_bits)
+    : history_bits_(history_bits),
+      mask_((1u << history_bits) - 1u),
+      counters_(std::size_t{1} << history_bits, 1) {
+  EREL_CHECK(history_bits >= 1 && history_bits <= 24);
+}
+
+std::size_t Gshare::index(std::uint64_t pc, std::uint32_t history) const {
+  return (static_cast<std::uint32_t>(pc >> 2) ^ history) & mask_;
+}
+
+bool Gshare::predict(std::uint64_t pc, std::uint32_t* checkpoint) {
+  EREL_CHECK(checkpoint != nullptr);
+  *checkpoint = ghr_;
+  const bool taken = counters_[index(pc, ghr_)] >= 2;
+  ghr_ = ((ghr_ << 1) | (taken ? 1u : 0u)) & mask_;
+  ++stats_.predictions;
+  return taken;
+}
+
+void Gshare::resolve(std::uint64_t pc, std::uint32_t checkpoint, bool taken,
+                     bool mispredicted) {
+  // The counter is indexed with the history the prediction saw.
+  std::uint8_t& counter = counters_[index(pc, checkpoint)];
+  if (taken) {
+    if (counter < 3) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+  if (mispredicted) ++stats_.mispredictions;
+}
+
+void Gshare::repair(std::uint32_t checkpoint, bool actual_taken) {
+  ghr_ = ((checkpoint << 1) | (actual_taken ? 1u : 0u)) & mask_;
+}
+
+std::uint8_t Gshare::counter_at(std::uint64_t pc, std::uint32_t history) const {
+  return counters_[index(pc, history)];
+}
+
+}  // namespace erel::branch

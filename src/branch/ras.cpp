@@ -1,0 +1,34 @@
+#include "branch/ras.hpp"
+
+#include "common/log.hpp"
+
+namespace erel::branch {
+
+Ras::Ras(unsigned entries) : stack_(entries, 0) {
+  EREL_CHECK(entries > 0);
+}
+
+void Ras::push(std::uint64_t return_address) {
+  stack_[top_ % stack_.size()] = return_address;
+  ++top_;
+}
+
+std::uint64_t Ras::pop() {
+  if (top_ == 0) return 0;
+  --top_;
+  return stack_[top_ % stack_.size()];
+}
+
+Ras::Checkpoint Ras::checkpoint() const {
+  Checkpoint cp;
+  cp.top = top_;
+  cp.top_value = top_ == 0 ? 0 : stack_[(top_ - 1) % stack_.size()];
+  return cp;
+}
+
+void Ras::restore(const Checkpoint& checkpoint) {
+  top_ = checkpoint.top;
+  if (top_ != 0) stack_[(top_ - 1) % stack_.size()] = checkpoint.top_value;
+}
+
+}  // namespace erel::branch

@@ -1,0 +1,33 @@
+// Return-address stack with single-entry checkpoint repair: each in-flight
+// branch snapshots {top index, top value}; restoring both fixes the common
+// corruption patterns after a squash.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace erel::branch {
+
+class Ras {
+ public:
+  struct Checkpoint {
+    std::uint32_t top = 0;
+    std::uint64_t top_value = 0;
+  };
+
+  explicit Ras(unsigned entries = 16);
+
+  void push(std::uint64_t return_address);
+
+  /// Pops a predicted return address (0 if the stack never held one).
+  std::uint64_t pop();
+
+  [[nodiscard]] Checkpoint checkpoint() const;
+  void restore(const Checkpoint& checkpoint);
+
+ private:
+  std::vector<std::uint64_t> stack_;
+  std::uint32_t top_ = 0;  // index of the next free slot (circular)
+};
+
+}  // namespace erel::branch

@@ -1,0 +1,15 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace erel {
+
+void fatal(std::string_view file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[erel] %.*s:%d: %s\n", static_cast<int>(file.size()),
+               file.data(), line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace erel

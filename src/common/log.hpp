@@ -1,0 +1,41 @@
+// Lightweight assertion / fatal-error support for the simulator.
+//
+// EREL_CHECK is always on (even in release builds): simulator correctness
+// bugs must not silently corrupt experiment results. The cost is negligible
+// next to the per-cycle work of the pipeline model.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace erel {
+
+/// Aborts the process after printing `msg` with source location.
+[[noreturn]] void fatal(std::string_view file, int line, const std::string& msg);
+
+namespace detail {
+// Builds the failure message lazily only on the failing path.
+template <typename... Ts>
+std::string format_parts(Ts&&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace erel
+
+#define EREL_CHECK(cond, ...)                                                \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      ::erel::fatal(__FILE__, __LINE__,                                      \
+                    ::erel::detail::format_parts("check failed: " #cond " ", \
+                                                 ##__VA_ARGS__));            \
+    }                                                                        \
+  } while (0)
+
+#define EREL_FATAL(...)                                                    \
+  ::erel::fatal(__FILE__, __LINE__,                                        \
+                ::erel::detail::format_parts("fatal: ", ##__VA_ARGS__))

@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace erel {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : columns_(header.size()) {
+  EREL_CHECK(columns_ > 0);
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  EREL_CHECK(cells.size() == columns_, "row width ", cells.size(),
+             " != header width ", columns_);
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != '%' && c != 'e' && c != 'x')
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(columns_, 0);
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < columns_; ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < columns_; ++c) {
+      const std::string& cell = rows_[r][c];
+      const std::size_t pad = width[c] - cell.size();
+      // Header and text cells left-align; numeric cells right-align.
+      const bool right = r > 0 && looks_numeric(cell);
+      if (c > 0) os << "  ";
+      if (right) os << std::string(pad, ' ') << cell;
+      else os << cell << std::string(pad, ' ');
+    }
+    os << '\n';
+    if (r == 0) {
+      for (std::size_t c = 0; c < columns_; ++c) {
+        if (c > 0) os << "  ";
+        os << std::string(width[c], '-');
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace erel

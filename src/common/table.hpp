@@ -1,0 +1,30 @@
+// Plain-text table formatting for bench binaries: fixed-width columns with
+// right-aligned numerics, matching the row/series layout of the paper's
+// tables and figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace erel {
+
+/// Column-aligned text table. Rows are added as vectors of pre-formatted
+/// cells; `to_string` pads every column to its widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string num(double value, int precision = 3);
+  static std::string pct(double fraction, int precision = 1);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  std::size_t columns_;
+};
+
+}  // namespace erel

@@ -1,0 +1,40 @@
+#include "core/free_list.hpp"
+
+#include "common/log.hpp"
+
+namespace erel::core {
+
+FreeList::FreeList(unsigned total, unsigned first_free)
+    : total_(total), queue_(total), free_map_(total, false) {
+  EREL_CHECK(first_free <= total);
+  for (unsigned r = first_free; r < total; ++r) {
+    queue_[count_++] = static_cast<PhysReg>(r);
+    free_map_[r] = true;
+  }
+}
+
+PhysReg FreeList::allocate() {
+  EREL_CHECK(count_ > 0, "allocate from empty free list");
+  const PhysReg reg = queue_[head_];
+  head_ = (head_ + 1) % queue_.size();
+  --count_;
+  EREL_CHECK(free_map_[reg], "allocating non-free register ", reg);
+  free_map_[reg] = false;
+  return reg;
+}
+
+void FreeList::release(PhysReg reg) {
+  EREL_CHECK(reg < total_, "release of bogus register ", reg);
+  EREL_CHECK(!free_map_[reg], "double release of register ", reg);
+  free_map_[reg] = true;
+  EREL_CHECK(count_ < queue_.size());
+  queue_[(head_ + count_) % queue_.size()] = reg;
+  ++count_;
+}
+
+bool FreeList::is_free(PhysReg reg) const {
+  EREL_CHECK(reg < total_);
+  return free_map_[reg];
+}
+
+}  // namespace erel::core

@@ -1,0 +1,42 @@
+// Physical-register free list (FIFO, as in the MIPS R10K) with a shadow
+// bitmap that makes double-release and double-allocate hard failures.
+// Catching those is essential here: the early-release schemes' main hazard
+// is releasing a register twice (once early, once conventionally).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace erel::core {
+
+class FreeList {
+ public:
+  /// `total` physical registers exist; those in [first_free, total) start
+  /// free (lower ids hold the initial architectural mappings).
+  FreeList(unsigned total, unsigned first_free);
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] unsigned capacity() const { return total_; }
+
+  /// Pops the oldest free register. Aborts when empty (callers must check
+  /// `empty()` and stall instead).
+  PhysReg allocate();
+
+  /// Returns a register to the free list. Aborts on double-release.
+  void release(PhysReg reg);
+
+  /// True if `reg` is currently free (observability for tests/invariants).
+  [[nodiscard]] bool is_free(PhysReg reg) const;
+
+ private:
+  unsigned total_;
+  std::vector<PhysReg> queue_;  // ring buffer
+  std::size_t head_ = 0;        // queue_[head_ % cap] is the oldest entry
+  std::size_t count_ = 0;
+  std::vector<bool> free_map_;
+};
+
+}  // namespace erel::core

@@ -1,0 +1,30 @@
+#include "core/lus_table.hpp"
+
+#include "common/log.hpp"
+
+namespace erel::core {
+
+const LUsEntry& LUsTable::lookup(unsigned logical) const {
+  EREL_CHECK(logical < isa::kNumLogicalRegs);
+  return table_[logical];
+}
+
+void LUsTable::record_use(unsigned logical, InstSeq seq, UseKind kind) {
+  EREL_CHECK(logical < isa::kNumLogicalRegs);
+  EREL_CHECK(kind != UseKind::Arch);
+  table_[logical] = LUsEntry{seq, kind, false};
+}
+
+void LUsTable::on_commit(InstSeq seq) { update_commit_in(table_, seq); }
+
+void LUsTable::update_commit_in(Snapshot& snapshot, InstSeq seq) {
+  for (LUsEntry& entry : snapshot) {
+    if (entry.seq == seq) entry.committed = true;
+  }
+}
+
+void LUsTable::reset_architectural() {
+  table_.fill(LUsEntry{kNoSeq, UseKind::Arch, true});
+}
+
+}  // namespace erel::core

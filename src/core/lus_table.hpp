@@ -1,0 +1,62 @@
+// Last-Uses Table (paper §3.1, Figure 5).
+//
+// One entry per logical register, recording the instruction that used the
+// register most recently in decode order (`ROSid` — here a monotone sequence
+// number), the role of that use (`Kind`: src1/src2/dst) and whether that
+// instruction has already committed (`C`).
+//
+// Like the Map Table, the LUs Table is checkpointed at every branch and
+// restored on misprediction; commit-time C-bit updates are applied to the
+// working copy *and* to every live checkpoint (paper §3.2: "this action on
+// bit C has to be extended to all LUs Table copies").
+//
+// After an exception flush the table resets to the `Arch` state: every entry
+// says "the architectural version's last use has committed", which lets the
+// next redefinition release the mapped version immediately (unless the
+// mapping is stale).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace erel::core {
+
+struct LUsEntry {
+  InstSeq seq = kNoSeq;            // paper: ROSid (kNoSeq in the Arch state)
+  UseKind kind = UseKind::Arch;    // paper: Kind
+  bool committed = true;           // paper: C
+};
+
+class LUsTable {
+ public:
+  using Snapshot = std::array<LUsEntry, isa::kNumLogicalRegs>;
+
+  LUsTable() { reset_architectural(); }
+
+  [[nodiscard]] const LUsEntry& lookup(unsigned logical) const;
+
+  /// Records instruction `seq` as the new last use of `logical` (Renaming
+  /// step 1 / step 3 of §3.2).
+  void record_use(unsigned logical, InstSeq seq, UseKind kind);
+
+  /// Commit-time C-bit update for one committing instruction: any entry
+  /// still pointing at `seq` is marked committed. Must also be applied to
+  /// checkpoints — see update_commit_in().
+  void on_commit(InstSeq seq);
+
+  /// Same update applied to a snapshot (checkpoint copy).
+  static void update_commit_in(Snapshot& snapshot, InstSeq seq);
+
+  /// Exception flush: every entry becomes {Arch, committed}.
+  void reset_architectural();
+
+  [[nodiscard]] Snapshot snapshot() const { return table_; }
+  void restore(const Snapshot& snapshot) { table_ = snapshot; }
+
+ private:
+  Snapshot table_;
+};
+
+}  // namespace erel::core

@@ -1,0 +1,27 @@
+#include "core/map_table.hpp"
+
+#include "common/log.hpp"
+
+namespace erel::core {
+
+MapTable::MapTable() {
+  for (unsigned r = 0; r < isa::kNumLogicalRegs; ++r)
+    map_[r] = Mapping{static_cast<PhysReg>(r), false};
+}
+
+const Mapping& MapTable::get(unsigned logical) const {
+  EREL_CHECK(logical < isa::kNumLogicalRegs);
+  return map_[logical];
+}
+
+void MapTable::set(unsigned logical, PhysReg phys) {
+  EREL_CHECK(logical < isa::kNumLogicalRegs);
+  map_[logical] = Mapping{phys, false};
+}
+
+void MapTable::mark_stale(unsigned logical) {
+  EREL_CHECK(logical < isa::kNumLogicalRegs);
+  map_[logical].stale = true;
+}
+
+}  // namespace erel::core

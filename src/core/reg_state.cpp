@@ -1,0 +1,169 @@
+#include "core/reg_state.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace erel::core {
+
+RegTracker::RegTracker(unsigned num_phys) : regs_(num_phys) {}
+
+void RegTracker::init_architectural(unsigned logical_count) {
+  EREL_CHECK(logical_count <= regs_.size());
+  for (unsigned r = 0; r < logical_count; ++r) {
+    Version& v = regs_[r];
+    v.allocated = true;
+    v.written = true;
+    v.definer_committed = true;
+    v.logical = static_cast<std::uint8_t>(r);
+    ++allocated_count_;
+  }
+}
+
+void RegTracker::on_alloc(PhysReg p, std::uint8_t logical, std::uint64_t cycle) {
+  Version& v = regs_.at(p);
+  EREL_CHECK(!v.allocated, "alloc of live register ", p);
+  const std::uint32_t token = v.token + 1;
+  v = Version{};
+  v.allocated = true;
+  v.alloc_cycle = cycle;
+  v.logical = logical;
+  v.token = token;
+  ++allocated_count_;
+}
+
+void RegTracker::on_write(PhysReg p, std::uint64_t cycle) {
+  Version& v = regs_.at(p);
+  // Wrong-path writes to a version that was squash-released already are
+  // filtered by the pipeline; a write here must land on a live version.
+  EREL_CHECK(v.allocated, "write to free register ", p);
+  if (!v.written) {
+    v.written = true;
+    v.write_cycle = cycle;
+  }
+}
+
+void RegTracker::on_definer_commit(PhysReg p, std::uint64_t cycle) {
+  Version& v = regs_.at(p);
+  EREL_CHECK(v.allocated && v.written);
+  v.definer_committed = true;
+  v.last_use_commit = std::max(v.last_use_commit, cycle);
+}
+
+void RegTracker::on_consumer_commit(PhysReg p, std::uint32_t token,
+                                    std::uint64_t cycle) {
+  Version& v = regs_.at(p);
+  // The safety property of the whole paper: a committed consumer must find
+  // the exact version it renamed to still live.
+  EREL_CHECK(v.allocated && v.token == token,
+             "committed read of released register ", p);
+  v.last_use_commit = std::max(v.last_use_commit, cycle);
+}
+
+void RegTracker::attribute(Version& v, std::uint64_t end_cycle, bool squashed) {
+  const std::uint64_t t0 = v.alloc_cycle;
+  if (!v.written) {
+    empty_integral_ += static_cast<double>(end_cycle - t0);
+    return;
+  }
+  const std::uint64_t tw = std::min(std::max(v.write_cycle, t0), end_cycle);
+  empty_integral_ += static_cast<double>(tw - t0);
+  if (!v.definer_committed || squashed) {
+    // Speculative version that never became architectural: it held a value
+    // but no committed last use exists; count the whole span as Ready.
+    ready_integral_ += static_cast<double>(end_cycle - tw);
+    return;
+  }
+  const std::uint64_t lu =
+      std::min(std::max(v.last_use_commit, tw), end_cycle);
+  ready_integral_ += static_cast<double>(lu - tw);
+  idle_integral_ += static_cast<double>(end_cycle - lu);
+}
+
+void RegTracker::on_release(PhysReg p, std::uint64_t cycle, bool squashed) {
+  Version& v = regs_.at(p);
+  EREL_CHECK(v.allocated, "release of free register ", p);
+  attribute(v, cycle, squashed);
+  v.allocated = false;
+  EREL_CHECK(allocated_count_ > 0);
+  --allocated_count_;
+}
+
+void RegTracker::on_reuse(PhysReg p, std::uint8_t logical, std::uint64_t cycle) {
+  Version& v = regs_.at(p);
+  EREL_CHECK(v.allocated, "reuse of free register ", p);
+  attribute(v, cycle, /*squashed=*/false);
+  const std::uint32_t token = v.token + 1;
+  v = Version{};
+  v.allocated = true;
+  v.alloc_cycle = cycle;
+  v.logical = logical;
+  v.token = token;
+  // allocated_count_ unchanged: one version ends, another begins.
+}
+
+std::uint32_t RegTracker::token(PhysReg p) const { return regs_.at(p).token; }
+
+std::uint8_t RegTracker::logical_of(PhysReg p) const {
+  return regs_.at(p).logical;
+}
+
+bool RegTracker::is_allocated(PhysReg p) const { return regs_.at(p).allocated; }
+
+void RegTracker::finalize(std::uint64_t cycle) {
+  EREL_CHECK(!finalized_, "finalize called twice");
+  finalized_ = true;
+  for (Version& v : regs_) {
+    if (v.allocated) attribute(v, cycle, /*squashed=*/false);
+  }
+}
+
+Occupancy RegTracker::occupancy(std::uint64_t total_cycles) const {
+  EREL_CHECK(finalized_, "occupancy read before finalize");
+  Occupancy occ;
+  if (total_cycles == 0) return occ;
+  const auto cycles = static_cast<double>(total_cycles);
+  occ.avg_empty = empty_integral_ / cycles;
+  occ.avg_ready = ready_integral_ / cycles;
+  occ.avg_idle = idle_integral_ / cycles;
+  return occ;
+}
+
+RegFileState::RegFileState(RC cls_in, unsigned num_phys_in)
+    : cls(cls_in),
+      num_phys(num_phys_in),
+      free_list(num_phys_in, isa::kNumLogicalRegs),
+      tracker(num_phys_in),
+      value(num_phys_in, 0),
+      ready(num_phys_in, true) {
+  EREL_CHECK(num_phys >= isa::kNumLogicalRegs + 1,
+             "need at least L+1 physical registers, got ", num_phys);
+  tracker.init_architectural(isa::kNumLogicalRegs);
+}
+
+PhysReg RegFileState::alloc(std::uint8_t logical, std::uint64_t cycle) {
+  const PhysReg p = free_list.allocate();
+  tracker.on_alloc(p, logical, cycle);
+  ready[p] = false;
+  return p;
+}
+
+void RegFileState::release(PhysReg p, std::uint64_t cycle, bool squashed) {
+  // If the released version is still the architectural mapping of its
+  // logical register, an exception flush would restore a mapping to a freed
+  // register: flag it stale so the next redefinition does not release it a
+  // second time (DESIGN.md, "stale-mapping bit").
+  const std::uint8_t logical = tracker.logical_of(p);
+  if (iomt.get(logical).phys == p && !iomt.get(logical).stale)
+    iomt.mark_stale(logical);
+  tracker.on_release(p, cycle, squashed);
+  free_list.release(p);
+}
+
+void RegFileState::write_value(PhysReg p, std::uint64_t v, std::uint64_t cycle) {
+  value.at(p) = v;
+  ready[p] = true;
+  tracker.on_write(p, cycle);
+}
+
+}  // namespace erel::core

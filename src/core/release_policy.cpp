@@ -1,0 +1,368 @@
+#include "core/release_policy.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace erel::core {
+
+std::string_view policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::Conventional: return "conv";
+    case PolicyKind::Basic: return "basic";
+    case PolicyKind::Extended: return "extended";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Base-class defaults (the conventional scheme uses most of them directly).
+// ---------------------------------------------------------------------------
+
+void ReleasePolicy::record_src_use(unsigned, InstSeq, UseKind) {}
+void ReleasePolicy::record_dst_use(unsigned, InstSeq) {}
+
+bool ReleasePolicy::can_rename_dest(unsigned, InstSeq, bool) const {
+  return !rf_.free_list.empty();
+}
+
+void ReleasePolicy::on_commit(const RenameRec&, InstSeq, std::uint64_t) {}
+void ReleasePolicy::on_branch_decoded(InstSeq) {}
+void ReleasePolicy::on_branch_confirmed(InstSeq, std::uint64_t) {}
+void ReleasePolicy::on_branch_mispredicted(InstSeq) {}
+
+PolicyCheckpoint ReleasePolicy::make_checkpoint() const { return {}; }
+void ReleasePolicy::restore_checkpoint(const PolicyCheckpoint&) {}
+void ReleasePolicy::commit_update_checkpoint(PolicyCheckpoint&, InstSeq) const {}
+void ReleasePolicy::on_exception_flush() {}
+
+void ReleasePolicy::release_rel_bits(const RenameRec& rec, std::uint64_t cycle) {
+  // An instruction's operand slots can span both register classes (e.g. fsd
+  // reads an int base and an fp value); each class's policy releases only
+  // the bits whose operand belongs to its own class.
+  if (rec.rel_bits == 0) return;
+  const auto mine = [this](isa::RegClass cls) {
+    return cls != isa::RegClass::None && rc_from(cls) == rf_.cls;
+  };
+  if ((rec.rel_bits & kRel1) && mine(rec.c1)) {
+    rf_.release(rec.p1, cycle, /*squashed=*/false);
+    ++stats_.early_commit_releases;
+  }
+  if ((rec.rel_bits & kRel2) && mine(rec.c2)) {
+    rf_.release(rec.p2, cycle, /*squashed=*/false);
+    ++stats_.early_commit_releases;
+  }
+  if ((rec.rel_bits & kRelD) && mine(rec.cd)) {
+    rf_.release(rec.pd, cycle, /*squashed=*/false);
+    ++stats_.early_commit_releases;
+  }
+}
+
+bool ReleasePolicy::owns_dst(const RenameRec& rec) const {
+  return rec.cd != isa::RegClass::None && rc_from(rec.cd) == rf_.cls;
+}
+
+// ---------------------------------------------------------------------------
+// Conventional release (§2): old_pd freed when NV commits.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ConventionalPolicy final : public ReleasePolicy {
+ public:
+  using ReleasePolicy::ReleasePolicy;
+
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::Conventional;
+  }
+
+  DestPlan plan_dest(unsigned rd, InstSeq, RenameRec& rec,
+                     std::uint64_t) override {
+    const Mapping& old = rf_.map.get(rd);
+    rec.old_pd = old.phys;
+    if (old.stale) {
+      // The previous version was already freed (early release + exception
+      // flush in a prior policy life; unreachable for pure conventional but
+      // kept for uniformity): never release it again.
+      rec.rel_old = false;
+      ++stats_.stale_suppressed;
+    } else {
+      rec.rel_old = true;
+    }
+    return {};
+  }
+
+  void on_commit(const RenameRec& rec, InstSeq, std::uint64_t cycle) override {
+    if (owns_dst(rec) && rec.rel_old && rec.old_pd != kNoReg) {
+      rf_.release(rec.old_pd, cycle, /*squashed=*/false);
+      ++stats_.conventional_releases;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Basic mechanism (§3).
+// ---------------------------------------------------------------------------
+
+class BasicPolicy : public ReleasePolicy {
+ public:
+  using ReleasePolicy::ReleasePolicy;
+
+  [[nodiscard]] PolicyKind kind() const override { return PolicyKind::Basic; }
+
+  void record_src_use(unsigned logical, InstSeq seq, UseKind kind) override {
+    lus_.record_use(logical, seq, kind);
+  }
+
+  void record_dst_use(unsigned logical, InstSeq seq) override {
+    lus_.record_use(logical, seq, UseKind::Dst);
+  }
+
+  [[nodiscard]] bool can_rename_dest(unsigned rd, InstSeq nv_seq,
+                                     bool self_src_use) const override {
+    // The reuse case consumes no free register. An instruction that reads
+    // its own destination becomes the LU of the previous version (C=0), so
+    // reuse is impossible for it.
+    if (!self_src_use && classify(rd, nv_seq) == Case::Reuse) return true;
+    return !rf_.free_list.empty();
+  }
+
+  DestPlan plan_dest(unsigned rd, InstSeq nv_seq, RenameRec& rec,
+                     std::uint64_t) override {
+    const Mapping& old = rf_.map.get(rd);
+    rec.old_pd = old.phys;
+    switch (classify(rd, nv_seq)) {
+      case Case::StaleSuppressed:
+        rec.rel_old = false;
+        ++stats_.stale_suppressed;
+        return {};
+      case Case::Fallback:
+        // Case 2 of §3: an unverified branch sits between LU and NV; the
+        // basic mechanism falls back to conventional release.
+        rec.rel_old = true;
+        ++stats_.fallback_conventional;
+        return {};
+      case Case::ScheduleAtLu: {
+        // Case 1, LU in flight: set the matching early-release bit in LU's
+        // ROS entry and disconnect NV's conventional release (Figure 6b).
+        const LUsEntry entry = lus_.lookup(rd);
+        RenameRec* lu = hooks_.find_inflight(entry.seq);
+        EREL_CHECK(lu != nullptr, "uncommitted LU ", entry.seq,
+                   " not in flight");
+        const std::uint8_t bit = rel_bit_for(entry.kind);
+        EREL_CHECK((lu->rel_bits & bit) == 0, "double scheduling on LU ",
+                   entry.seq);
+        lu->rel_bits |= bit;
+        rec.rel_old = false;
+        return {};
+      }
+      case Case::Reuse:
+        // Case 1, LU committed: reuse old_pd as NV's destination, leaving
+        // the mapping untouched and reclaiming no register (§3.2).
+        rec.rel_old = false;
+        ++stats_.reuses;
+        return {.reuse = true};
+    }
+    return {};
+  }
+
+  void on_commit(const RenameRec& rec, InstSeq seq,
+                 std::uint64_t cycle) override {
+    // C-bit update: any LUs entry naming this instruction is now committed.
+    lus_.on_commit(seq);
+    // Early releases synchronized with this (LU) commit.
+    release_rel_bits(rec, cycle);
+    // Conventional path for NVs that could not schedule early.
+    if (owns_dst(rec) && rec.rel_old && rec.old_pd != kNoReg) {
+      rf_.release(rec.old_pd, cycle, /*squashed=*/false);
+      ++stats_.conventional_releases;
+    }
+  }
+
+  [[nodiscard]] PolicyCheckpoint make_checkpoint() const override {
+    PolicyCheckpoint cp;
+    cp.lus = lus_.snapshot();
+    cp.has_lus = true;
+    return cp;
+  }
+
+  void restore_checkpoint(const PolicyCheckpoint& cp) override {
+    EREL_CHECK(cp.has_lus);
+    lus_.restore(cp.lus);
+  }
+
+  void commit_update_checkpoint(PolicyCheckpoint& cp,
+                                InstSeq seq) const override {
+    LUsTable::update_commit_in(cp.lus, seq);
+  }
+
+  void on_exception_flush() override { lus_.reset_architectural(); }
+
+ protected:
+  enum class Case { StaleSuppressed, Fallback, ScheduleAtLu, Reuse };
+
+  /// Shared decision logic for can_rename_dest / plan_dest; pure.
+  [[nodiscard]] Case classify(unsigned rd, InstSeq nv_seq) const {
+    const Mapping& old = rf_.map.get(rd);
+    if (old.stale) return Case::StaleSuppressed;
+    const LUsEntry& entry = lus_.lookup(rd);
+    // Arch entries (post-flush / program start) behave as an LU committed at
+    // sequence 0: any pending branch older than NV blocks Case 1.
+    const InstSeq lu_seq = entry.seq == kNoSeq ? 0 : entry.seq;
+    if (hooks_.branch_pending_between(lu_seq, nv_seq)) return Case::Fallback;
+    return entry.committed ? Case::Reuse : Case::ScheduleAtLu;
+  }
+
+  LUsTable lus_;
+};
+
+// ---------------------------------------------------------------------------
+// Extended mechanism (§4).
+// ---------------------------------------------------------------------------
+
+class ExtendedPolicy final : public BasicPolicy {
+ public:
+  using BasicPolicy::BasicPolicy;
+
+  [[nodiscard]] PolicyKind kind() const override {
+    return PolicyKind::Extended;
+  }
+
+  [[nodiscard]] bool can_rename_dest(unsigned rd, InstSeq nv_seq,
+                                     bool self_src_use) const override {
+    // The immediate-release case frees old_pd before allocation, so it can
+    // proceed even with an empty free list. Every other case needs a free
+    // register (the extended mechanism never reuses, see §4.2). Self-use
+    // forces the commit-synchronized path, which allocates.
+    if (!rf_.free_list.empty()) return true;
+    return !self_src_use &&
+           classify_ext(rd, nv_seq) == ExtCase::ImmediateRelease;
+  }
+
+  DestPlan plan_dest(unsigned rd, InstSeq nv_seq, RenameRec& rec,
+                     std::uint64_t cycle) override {
+    const Mapping& old = rf_.map.get(rd);
+    rec.old_pd = old.phys;
+    rec.rel_old = false;  // the extended ROS has no old_pd/rel_old release
+    switch (classify_ext(rd, nv_seq)) {
+      case ExtCase::StaleSuppressed:
+        ++stats_.stale_suppressed;
+        return {};
+      case ExtCase::ImmediateRelease:
+        // Non-speculative NV, LU already committed: release right now.
+        rf_.release(old.phys, cycle, /*squashed=*/false);
+        ++stats_.immediate_releases;
+        return {};
+      case ExtCase::ScheduleRwc0: {
+        // Non-speculative NV, LU in flight: unconditional rel bit (RwC0).
+        const LUsEntry entry = lus_.lookup(rd);
+        RenameRec* lu = hooks_.find_inflight(entry.seq);
+        EREL_CHECK(lu != nullptr, "uncommitted LU ", entry.seq,
+                   " not in flight");
+        const std::uint8_t bit = rel_bit_for(entry.kind);
+        EREL_CHECK((lu->rel_bits & bit) == 0, "double scheduling on LU ",
+                   entry.seq);
+        lu->rel_bits |= bit;
+        return {};
+      }
+      case ExtCase::ScheduleRwns: {
+        // Speculative NV, LU committed: decoded conditional release at TAIL.
+        relque_.schedule_committed(old.phys);
+        ++stats_.conditional_schedulings;
+        return {};
+      }
+      case ExtCase::ScheduleRwc: {
+        // Speculative NV, LU in flight: commit-synchronized conditional
+        // release at TAIL.
+        const LUsEntry entry = lus_.lookup(rd);
+        relque_.schedule_inflight(entry.seq, rel_bit_for(entry.kind));
+        ++stats_.conditional_schedulings;
+        return {};
+      }
+    }
+    return {};
+  }
+
+  void on_commit(const RenameRec& rec, InstSeq seq,
+                 std::uint64_t cycle) override {
+    lus_.on_commit(seq);
+    // Conditional schedulings synchronized with this commit migrate from
+    // RwCn to RwNSn (Step 5; the register ids come from the ROS PRid filed).
+    relque_.on_lu_commit(seq, rec.p1, rec.p2, rec.pd);
+    // RwC0: unconditional commit-synchronized releases.
+    release_rel_bits(rec, cycle);
+    EREL_CHECK(!(owns_dst(rec) && rec.rel_old),
+               "extended mechanism must never use conventional release");
+  }
+
+  void on_branch_decoded(InstSeq branch_seq) override {
+    relque_.push_level(branch_seq);
+  }
+
+  void on_branch_confirmed(InstSeq branch_seq, std::uint64_t cycle) override {
+    ReleaseQueue::ConfirmResult result = relque_.confirm(branch_seq);
+    for (const PhysReg p : result.release_now) {
+      rf_.release(p, cycle, /*squashed=*/false);
+      ++stats_.branch_confirm_releases;
+    }
+    for (const auto& [lu_seq, bits] : result.to_rwc0) {
+      RenameRec* lu = hooks_.find_inflight(lu_seq);
+      EREL_CHECK(lu != nullptr, "RwC1 entry for vanished LU ", lu_seq);
+      EREL_CHECK((lu->rel_bits & bits) == 0);
+      lu->rel_bits |= bits;
+    }
+  }
+
+  void on_branch_mispredicted(InstSeq branch_seq) override {
+    relque_.mispredict(branch_seq);
+  }
+
+  void on_exception_flush() override {
+    BasicPolicy::on_exception_flush();
+    relque_.clear();
+  }
+
+  [[nodiscard]] std::size_t relque_population() const override {
+    return relque_.total_scheduled();
+  }
+
+ private:
+  enum class ExtCase {
+    StaleSuppressed,
+    ImmediateRelease,
+    ScheduleRwc0,
+    ScheduleRwns,
+    ScheduleRwc,
+  };
+
+  ReleaseQueue relque_;
+
+  [[nodiscard]] ExtCase classify_ext(unsigned rd, InstSeq) const {
+    const Mapping& old = rf_.map.get(rd);
+    if (old.stale) return ExtCase::StaleSuppressed;
+    const LUsEntry& entry = lus_.lookup(rd);
+    // The release must survive only if NV survives, so it is conditional on
+    // *every* pending branch older than NV — i.e. all of them (Step 2).
+    const bool speculative = hooks_.pending_branch_count() > 0;
+    if (!speculative)
+      return entry.committed ? ExtCase::ImmediateRelease : ExtCase::ScheduleRwc0;
+    return entry.committed ? ExtCase::ScheduleRwns : ExtCase::ScheduleRwc;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ReleasePolicy> make_policy(PolicyKind kind, RegFileState& rf,
+                                           PipelineHooks& hooks) {
+  switch (kind) {
+    case PolicyKind::Conventional:
+      return std::make_unique<ConventionalPolicy>(rf, hooks);
+    case PolicyKind::Basic:
+      return std::make_unique<BasicPolicy>(rf, hooks);
+    case PolicyKind::Extended:
+      return std::make_unique<ExtendedPolicy>(rf, hooks);
+  }
+  EREL_FATAL("unknown policy kind");
+}
+
+}  // namespace erel::core

@@ -1,0 +1,134 @@
+// The three register-release policies evaluated in the paper:
+//
+//   Conventional — release the previous version (old_pd) when the
+//     redefining instruction (NV) commits (§2, Figure 1).
+//   Basic — a Last-Uses Table identifies the LU instruction at NV decode;
+//     when no unverified branch lies between LU and NV, the release is tied
+//     to LU's commit via rel1/rel2/reld bits in the ROS, or performed
+//     immediately (reusing the register) when LU has already committed (§3).
+//   Extended — additionally handles speculative NVs through the Release
+//     Queue: releases conditional on pending branches migrate toward the
+//     unconditional level as branches confirm (§4).
+//
+// A policy instance manages one register class; it owns the class's LUs
+// Table (and Release Queue for Extended) and performs every release through
+// the shared RegFileState so the free list / tracker invariants hold for all
+// policies identically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/lus_table.hpp"
+#include "core/reg_state.hpp"
+#include "core/release_queue.hpp"
+#include "core/types.hpp"
+
+namespace erel::core {
+
+enum class PolicyKind : std::uint8_t { Conventional, Basic, Extended };
+
+[[nodiscard]] std::string_view policy_name(PolicyKind kind);
+
+/// Release-event counters, reported per class in the simulation results.
+struct PolicyStats {
+  std::uint64_t conventional_releases = 0;   // old_pd at NV commit
+  std::uint64_t early_commit_releases = 0;   // rel bits at LU commit (RwC0)
+  std::uint64_t immediate_releases = 0;      // at NV decode, LU committed
+  std::uint64_t reuses = 0;                  // basic: pd := old_pd, no alloc
+  std::uint64_t branch_confirm_releases = 0; // extended: RwNS1 drain
+  std::uint64_t conditional_schedulings = 0; // placed into the RelQue
+  std::uint64_t fallback_conventional = 0;   // basic: Case-2 NVs
+  std::uint64_t stale_suppressed = 0;        // releases suppressed (dead map)
+};
+
+/// Aux state stored inside every branch checkpoint next to the Map Table
+/// snapshot (the paper's "LUs Table copy at each branch prediction").
+struct PolicyCheckpoint {
+  LUsTable::Snapshot lus{};
+  bool has_lus = false;
+};
+
+class ReleasePolicy {
+ public:
+  ReleasePolicy(RegFileState& rf, PipelineHooks& hooks)
+      : rf_(rf), hooks_(hooks) {}
+  virtual ~ReleasePolicy() = default;
+
+  [[nodiscard]] virtual PolicyKind kind() const = 0;
+
+  /// Outcome of plan_dest.
+  struct DestPlan {
+    bool reuse = false;  // pd := old_pd without allocating (basic, C=1)
+  };
+
+  // ---- rename-time hooks (called in this order per instruction) ----
+
+  /// Renaming step 1: a source operand of this class was read.
+  virtual void record_src_use(unsigned logical, InstSeq seq, UseKind kind);
+
+  /// Pure resource check: can an instruction redefining `rd` rename now?
+  /// `self_src_use` marks instructions that also read rd (e.g. add r1,r1,r2):
+  /// their own source read will become the last use of the previous version,
+  /// which rules the register-free reuse/immediate-release cases out.
+  [[nodiscard]] virtual bool can_rename_dest(unsigned rd, InstSeq nv_seq,
+                                             bool self_src_use) const;
+
+  /// Renaming step 2: decide the fate of the previous version of `rd`.
+  /// Fills rec.old_pd / rec.rel_old, may set rel bits in the LU's record,
+  /// schedule in the RelQue, or release immediately. Only called when
+  /// can_rename_dest() returned true in the same cycle.
+  virtual DestPlan plan_dest(unsigned rd, InstSeq nv_seq, RenameRec& rec,
+                             std::uint64_t cycle) = 0;
+
+  /// Renaming step 3: the destination write is now the last use of the new
+  /// version.
+  virtual void record_dst_use(unsigned logical, InstSeq seq);
+
+  // ---- commit-time hook (in program order) ----
+
+  /// Updates C bits, performs commit-synchronized releases (rel bits /
+  /// old_pd), and migrates RelQue schedulings.
+  virtual void on_commit(const RenameRec& rec, InstSeq seq,
+                         std::uint64_t cycle);
+
+  // ---- branch lifecycle ----
+
+  virtual void on_branch_decoded(InstSeq branch_seq);
+  virtual void on_branch_confirmed(InstSeq branch_seq, std::uint64_t cycle);
+  virtual void on_branch_mispredicted(InstSeq branch_seq);
+
+  // ---- checkpointing of policy-private state (the LUs Table) ----
+
+  [[nodiscard]] virtual PolicyCheckpoint make_checkpoint() const;
+  virtual void restore_checkpoint(const PolicyCheckpoint& cp);
+  /// Applies a committing instruction's C-bit update to a checkpoint copy.
+  virtual void commit_update_checkpoint(PolicyCheckpoint& cp,
+                                        InstSeq seq) const;
+
+  /// Exception flush: pipeline emptied, map restored from the IOMT.
+  virtual void on_exception_flush();
+
+  [[nodiscard]] const PolicyStats& stats() const { return stats_; }
+
+  /// Extended only: scheduled-release population (invariant tests).
+  [[nodiscard]] virtual std::size_t relque_population() const { return 0; }
+
+ protected:
+  /// Releases the registers named by rec.rel_bits (the RwC0 action shared by
+  /// Basic and Extended), restricted to operands of this policy's class.
+  void release_rel_bits(const RenameRec& rec, std::uint64_t cycle);
+
+  /// True if the instruction's destination belongs to this policy's class.
+  [[nodiscard]] bool owns_dst(const RenameRec& rec) const;
+
+  RegFileState& rf_;
+  PipelineHooks& hooks_;
+  PolicyStats stats_;
+};
+
+/// Factory keyed by the experiment configuration.
+std::unique_ptr<ReleasePolicy> make_policy(PolicyKind kind, RegFileState& rf,
+                                           PipelineHooks& hooks);
+
+}  // namespace erel::core

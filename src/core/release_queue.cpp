@@ -1,0 +1,92 @@
+#include "core/release_queue.hpp"
+
+#include "common/log.hpp"
+
+namespace erel::core {
+
+void ReleaseQueue::push_level(InstSeq branch_seq) {
+  EREL_CHECK(levels_.empty() || levels_.back().branch_seq < branch_seq,
+             "levels must be pushed in decode order");
+  Level level;
+  level.branch_seq = branch_seq;
+  levels_.push_back(std::move(level));
+}
+
+void ReleaseQueue::schedule_committed(PhysReg p) {
+  EREL_CHECK(!levels_.empty(), "conditional scheduling with no pending branch");
+  levels_.back().rwns.push_back(p);
+}
+
+void ReleaseQueue::schedule_inflight(InstSeq lu_seq, std::uint8_t bits) {
+  EREL_CHECK(!levels_.empty(), "conditional scheduling with no pending branch");
+  EREL_CHECK(bits != 0);
+  auto& slot = levels_.back().rwc[lu_seq];
+  EREL_CHECK((slot & bits) == 0, "duplicate scheduling for LU ", lu_seq);
+  slot |= bits;
+}
+
+void ReleaseQueue::on_lu_commit(InstSeq lu_seq, PhysReg p1, PhysReg p2,
+                                PhysReg pd) {
+  for (Level& level : levels_) {
+    const auto it = level.rwc.find(lu_seq);
+    if (it == level.rwc.end()) continue;
+    const std::uint8_t bits = it->second;
+    if (bits & kRel1) level.rwns.push_back(p1);
+    if (bits & kRel2) level.rwns.push_back(p2);
+    if (bits & kRelD) level.rwns.push_back(pd);
+    level.rwc.erase(it);
+  }
+}
+
+std::size_t ReleaseQueue::level_index(InstSeq branch_seq) const {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].branch_seq == branch_seq) return i;
+  }
+  return levels_.size();
+}
+
+bool ReleaseQueue::has_level(InstSeq branch_seq) const {
+  return level_index(branch_seq) != levels_.size();
+}
+
+ReleaseQueue::ConfirmResult ReleaseQueue::confirm(InstSeq branch_seq) {
+  ConfirmResult result;
+  const std::size_t idx = level_index(branch_seq);
+  EREL_CHECK(idx != levels_.size(), "confirm of unknown branch ", branch_seq);
+  Level& level = levels_[idx];
+  if (idx == 0) {
+    // Oldest pending branch: its releases become final (Step 6,
+    // "Branch-Confirm Release") and its RwC bits merge into RwC0.
+    result.release_now = std::move(level.rwns);
+    result.to_rwc0.assign(level.rwc.begin(), level.rwc.end());
+  } else {
+    // Middle level: OR into the next older level (Step 4, Figure 8a).
+    Level& older = levels_[idx - 1];
+    older.rwns.insert(older.rwns.end(), level.rwns.begin(), level.rwns.end());
+    for (const auto& [seq, bits] : level.rwc) older.rwc[seq] |= bits;
+  }
+  levels_.erase(levels_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return result;
+}
+
+void ReleaseQueue::mispredict(InstSeq branch_seq) {
+  const std::size_t idx = level_index(branch_seq);
+  EREL_CHECK(idx != levels_.size(), "mispredict of unknown branch ", branch_seq);
+  levels_.erase(levels_.begin() + static_cast<std::ptrdiff_t>(idx),
+                levels_.end());
+}
+
+void ReleaseQueue::clear() { levels_.clear(); }
+
+std::size_t ReleaseQueue::total_scheduled() const {
+  std::size_t total = 0;
+  for (const Level& level : levels_) {
+    total += level.rwns.size();
+    for (const auto& [seq, bits] : level.rwc) {
+      total += static_cast<unsigned>(__builtin_popcount(bits));
+    }
+  }
+  return total;
+}
+
+}  // namespace erel::core

@@ -1,0 +1,88 @@
+// Release Queue (RelQue) of the extended mechanism (paper §4, Figure 7).
+//
+// One level per *pending* (unverified) branch, in decode order. A level
+// holds the conditional release schedulings made by NV instructions decoded
+// while that branch was the newest pending one:
+//   - RwNS ("Release when Non-Speculative"): physical registers whose LU
+//     instruction has already committed; they release as soon as the level
+//     reaches the bottom of the queue (oldest branch confirms).
+//   - RwC ("Release when Commit"): rel1/rel2/reld bits keyed by the LU
+//     instruction, to be synchronized with its commit. When the LU commits
+//     while the scheduling is still conditional, the bits decode into
+//     physical registers and move to the same level's RwNS (paper Step 5).
+//
+// Branch confirmation merges a level into the next-older one; confirming the
+// *oldest* level releases its RwNS set and merges its RwC bits into the
+// unconditional RwC0 (the ROS rel bits, owned by the caller). Misprediction
+// of branch n drops level n and every younger level (paper Step 3).
+//
+// The paper implements levels as a physical two-dimensional shift register;
+// here each level is a sparse set, which is behaviourally identical (the
+// paper itself notes the population is bounded by the ROS size, §4.2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace erel::core {
+
+class ReleaseQueue {
+ public:
+  struct ConfirmResult {
+    /// Registers to free right now (RwNS of the confirmed oldest level).
+    std::vector<PhysReg> release_now;
+    /// RwC schedulings that became unconditional: the caller must OR these
+    /// bits into the ROS rel-bit fields (RwC0) of the LU instructions.
+    std::vector<std::pair<InstSeq, std::uint8_t>> to_rwc0;
+  };
+
+  /// Step 1: a conditional branch was decoded; append an empty level.
+  void push_level(InstSeq branch_seq);
+
+  /// Step 2 (LU already committed): schedule `p` in the newest level's RwNS.
+  void schedule_committed(PhysReg p);
+
+  /// Step 2 (LU in flight): schedule rel bits for `lu_seq` in the newest
+  /// level's RwC.
+  void schedule_inflight(InstSeq lu_seq, std::uint8_t bits);
+
+  /// Step 5: `lu_seq` committed; convert its RwC bits in every level into
+  /// RwNS entries using the physical ids from its ROS record.
+  void on_lu_commit(InstSeq lu_seq, PhysReg p1, PhysReg p2, PhysReg pd);
+
+  /// Step 4 / Step 6: branch verified correct. Merges its level downward;
+  /// when it was the oldest level the result carries the releases.
+  ConfirmResult confirm(InstSeq branch_seq);
+
+  /// Step 3: branch mispredicted; drops its level and all younger ones.
+  void mispredict(InstSeq branch_seq);
+
+  /// Exception flush: every scheduling is dropped.
+  void clear();
+
+  [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
+  [[nodiscard]] bool has_level(InstSeq branch_seq) const;
+
+  /// Total number of schedulings across all levels (paper §4.2 bounds this
+  /// by the number of in-flight instructions with destinations).
+  [[nodiscard]] std::size_t total_scheduled() const;
+
+ private:
+  struct Level {
+    InstSeq branch_seq = kNoSeq;
+    std::vector<PhysReg> rwns;
+    std::unordered_map<InstSeq, std::uint8_t> rwc;
+  };
+
+  /// Index of the level attached to `branch_seq`; size() when absent.
+  [[nodiscard]] std::size_t level_index(InstSeq branch_seq) const;
+
+  std::deque<Level> levels_;  // front == oldest pending branch
+};
+
+}  // namespace erel::core

@@ -1,0 +1,49 @@
+#include "harness/harness.hpp"
+
+#include "asmkit/assembler.hpp"
+#include "common/log.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace erel::harness {
+
+std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
+                               unsigned threads) {
+  std::vector<RunResult> results(specs.size());
+  ThreadPool pool(threads);
+  parallel_for(pool, specs.size(), [&](std::size_t i) {
+    const RunSpec& spec = specs[i];
+    const arch::Program program = workloads::assemble_workload(spec.workload);
+    sim::Simulator simulator(spec.config);
+    results[i] = RunResult{spec, simulator.run(program)};
+  });
+  return results;
+}
+
+double harmonic_mean(std::span<const double> values) {
+  EREL_CHECK(!values.empty());
+  double inv_sum = 0;
+  for (const double v : values) {
+    EREL_CHECK(v > 0, "harmonic mean of non-positive value");
+    inv_sum += 1.0 / v;
+  }
+  return static_cast<double>(values.size()) / inv_sum;
+}
+
+sim::SimConfig experiment_config(core::PolicyKind policy, unsigned phys_regs) {
+  sim::SimConfig config;
+  config.policy = policy;
+  config.phys_int = phys_regs;
+  config.phys_fp = phys_regs;
+  config.check_oracle = false;
+  return config;
+}
+
+const std::vector<unsigned>& register_sweep_sizes() {
+  static const std::vector<unsigned> sizes = {40, 48, 56, 64,  72,  80, 88,
+                                              96, 104, 112, 120, 128, 160};
+  return sizes;
+}
+
+}  // namespace erel::harness

@@ -1,0 +1,42 @@
+// Experiment harness: runs batches of independent simulations across a
+// thread pool and aggregates the series the paper's tables/figures report.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace erel::harness {
+
+struct RunSpec {
+  std::string workload;   // registry name
+  sim::SimConfig config;
+  std::string tag;        // free-form label for table assembly
+};
+
+struct RunResult {
+  RunSpec spec;
+  sim::SimStats stats;
+};
+
+/// Runs every spec (each on its own worker thread; simulations share no
+/// state). Results keep the input order. `threads` 0 = hardware default.
+std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
+                               unsigned threads = 0);
+
+/// Harmonic mean, the aggregate the paper uses for IPC (Figures 10/11).
+double harmonic_mean(std::span<const double> values);
+
+/// Builds a config with the paper's Table 2 defaults, the given policy and
+/// symmetric register file size. Oracle checking is disabled for speed
+/// (benchmarks); tests construct configs directly with it enabled.
+sim::SimConfig experiment_config(core::PolicyKind policy, unsigned phys_regs);
+
+/// The Figure 11 sweep axis.
+const std::vector<unsigned>& register_sweep_sizes();
+
+}  // namespace erel::harness

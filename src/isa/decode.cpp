@@ -1,0 +1,148 @@
+// Binary encoding / decoding.
+//
+// Word layout (bit 31 .. bit 0):
+//   [31:24] opcode
+//   [23:19] a-field   (rd for R/I/U/J; imm[13:9] for B/S)
+//   [18:14] b-field   (rs1 for R/I/B/S; imm[18:14] for U/J)
+//   [13:9]  c-field   (rs2 for R/B/S; imm[13:9] for I/U/J)
+//   [8:0]   d-field   (imm[8:0] for all immediate-bearing formats)
+//
+// Immediates:
+//   I: imm14 = {c,d} sign-extended, bytes (loads/JALR) or raw (ALU).
+//   U: imm19 = {b,c,d} sign-extended (LUI shifts it left by 13 at execute).
+//   B: imm14 = {a,d} sign-extended, in 4-byte instruction units.
+//   S: imm14 = {a,d} sign-extended, in bytes.
+//   J: imm19 = {b,c,d} sign-extended, in 4-byte instruction units.
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "isa/isa.hpp"
+
+namespace erel::isa {
+
+namespace {
+
+constexpr unsigned kOpLo = 24, kALo = 19, kBLo = 14, kCLo = 9, kDLo = 0;
+
+std::uint32_t pack_imm14_cd(std::int32_t imm) {
+  EREL_CHECK(fits_signed(imm, 14), "imm14 out of range: ", imm);
+  const auto u = static_cast<std::uint32_t>(imm) & 0x3fffu;
+  return put_bits(put_bits(0, kCLo, 5, u >> 9), kDLo, 9, u & 0x1ffu);
+}
+
+std::uint32_t pack_imm14_ad(std::int32_t imm) {
+  EREL_CHECK(fits_signed(imm, 14), "imm14 out of range: ", imm);
+  const auto u = static_cast<std::uint32_t>(imm) & 0x3fffu;
+  return put_bits(put_bits(0, kALo, 5, u >> 9), kDLo, 9, u & 0x1ffu);
+}
+
+std::uint32_t pack_imm19_bcd(std::int32_t imm) {
+  EREL_CHECK(fits_signed(imm, 19), "imm19 out of range: ", imm);
+  const auto u = static_cast<std::uint32_t>(imm) & 0x7ffffu;
+  std::uint32_t w = 0;
+  w = put_bits(w, kBLo, 5, u >> 14);
+  w = put_bits(w, kCLo, 5, (u >> 9) & 0x1fu);
+  w = put_bits(w, kDLo, 9, u & 0x1ffu);
+  return w;
+}
+
+std::int32_t unpack_imm14_cd(std::uint32_t w) {
+  const std::uint32_t u = (bits(w, kCLo, 5) << 9) | bits(w, kDLo, 9);
+  return static_cast<std::int32_t>(sext(u, 14));
+}
+
+std::int32_t unpack_imm14_ad(std::uint32_t w) {
+  const std::uint32_t u = (bits(w, kALo, 5) << 9) | bits(w, kDLo, 9);
+  return static_cast<std::int32_t>(sext(u, 14));
+}
+
+std::int32_t unpack_imm19_bcd(std::uint32_t w) {
+  const std::uint32_t u =
+      (bits(w, kBLo, 5) << 14) | (bits(w, kCLo, 5) << 9) | bits(w, kDLo, 9);
+  return static_cast<std::int32_t>(sext(u, 19));
+}
+
+}  // namespace
+
+std::uint32_t encode(const DecodedInst& inst) {
+  const OpInfo& info = inst.info();
+  std::uint32_t w = put_bits(0, kOpLo, 8, static_cast<std::uint32_t>(inst.op));
+  switch (info.format) {
+    case Format::R:
+      w = put_bits(w, kALo, 5, inst.rd);
+      w = put_bits(w, kBLo, 5, inst.rs1);
+      w = put_bits(w, kCLo, 5, inst.rs2);
+      break;
+    case Format::I:
+      w = put_bits(w, kALo, 5, inst.rd);
+      w = put_bits(w, kBLo, 5, inst.rs1);
+      w |= pack_imm14_cd(inst.imm);
+      break;
+    case Format::U:
+      w = put_bits(w, kALo, 5, inst.rd);
+      w |= pack_imm19_bcd(inst.imm);
+      break;
+    case Format::B:
+      w = put_bits(w, kBLo, 5, inst.rs1);
+      w = put_bits(w, kCLo, 5, inst.rs2);
+      w |= pack_imm14_ad(inst.imm);
+      break;
+    case Format::S:
+      w = put_bits(w, kBLo, 5, inst.rs1);
+      w = put_bits(w, kCLo, 5, inst.rs2);
+      w |= pack_imm14_ad(inst.imm);
+      break;
+    case Format::J:
+      w = put_bits(w, kALo, 5, inst.rd);
+      w |= pack_imm19_bcd(inst.imm);
+      break;
+    case Format::N:
+      break;
+  }
+  return w;
+}
+
+DecodedInst decode(std::uint32_t word) {
+  DecodedInst inst;
+  const std::uint32_t opfield = bits(word, kOpLo, 8);
+  if (opfield >= kNumOpcodes) {
+    inst.op = Opcode::ILLEGAL;
+    return inst;
+  }
+  inst.op = static_cast<Opcode>(opfield);
+  const OpInfo& info = inst.info();
+  switch (info.format) {
+    case Format::R:
+      inst.rd = static_cast<std::uint8_t>(bits(word, kALo, 5));
+      inst.rs1 = static_cast<std::uint8_t>(bits(word, kBLo, 5));
+      inst.rs2 = static_cast<std::uint8_t>(bits(word, kCLo, 5));
+      break;
+    case Format::I:
+      inst.rd = static_cast<std::uint8_t>(bits(word, kALo, 5));
+      inst.rs1 = static_cast<std::uint8_t>(bits(word, kBLo, 5));
+      inst.imm = unpack_imm14_cd(word);
+      break;
+    case Format::U:
+      inst.rd = static_cast<std::uint8_t>(bits(word, kALo, 5));
+      inst.imm = unpack_imm19_bcd(word);
+      break;
+    case Format::B:
+      inst.rs1 = static_cast<std::uint8_t>(bits(word, kBLo, 5));
+      inst.rs2 = static_cast<std::uint8_t>(bits(word, kCLo, 5));
+      inst.imm = unpack_imm14_ad(word);
+      break;
+    case Format::S:
+      inst.rs1 = static_cast<std::uint8_t>(bits(word, kBLo, 5));
+      inst.rs2 = static_cast<std::uint8_t>(bits(word, kCLo, 5));
+      inst.imm = unpack_imm14_ad(word);
+      break;
+    case Format::J:
+      inst.rd = static_cast<std::uint8_t>(bits(word, kALo, 5));
+      inst.imm = unpack_imm19_bcd(word);
+      break;
+    case Format::N:
+      break;
+  }
+  return inst;
+}
+
+}  // namespace erel::isa

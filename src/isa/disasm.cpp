@@ -1,0 +1,68 @@
+#include <cstdio>
+#include <string>
+
+#include "isa/isa.hpp"
+
+namespace erel::isa {
+
+namespace {
+
+std::string reg_name(RegClass cls, unsigned idx) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "%c%u", cls == RegClass::Fp ? 'f' : 'r', idx);
+  return buf;
+}
+
+std::string hex_target(std::uint64_t pc, std::int64_t offset_insts) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(
+                    pc + static_cast<std::uint64_t>(offset_insts * 4)));
+  return buf;
+}
+
+}  // namespace
+
+std::string disassemble(const DecodedInst& inst, std::uint64_t pc) {
+  const OpInfo& info = inst.info();
+  const std::string m{info.mnemonic};
+  switch (info.format) {
+    case Format::R: {
+      std::string out = m + " " + reg_name(info.dst, inst.rd) + ", " +
+                        reg_name(info.src1, inst.rs1);
+      if (info.src2 != RegClass::None)
+        out += ", " + reg_name(info.src2, inst.rs2);
+      return out;
+    }
+    case Format::I:
+      if (inst.is_load()) {
+        return m + " " + reg_name(info.dst, inst.rd) + ", " +
+               std::to_string(inst.imm) + "(" + reg_name(info.src1, inst.rs1) +
+               ")";
+      }
+      if (inst.is_indirect_jump()) {
+        return m + " " + reg_name(info.dst, inst.rd) + ", " +
+               reg_name(info.src1, inst.rs1) + ", " + std::to_string(inst.imm);
+      }
+      return m + " " + reg_name(info.dst, inst.rd) + ", " +
+             reg_name(info.src1, inst.rs1) + ", " + std::to_string(inst.imm);
+    case Format::U:
+      return m + " " + reg_name(info.dst, inst.rd) + ", " +
+             std::to_string(inst.imm);
+    case Format::B:
+      return m + " " + reg_name(info.src1, inst.rs1) + ", " +
+             reg_name(info.src2, inst.rs2) + ", " + hex_target(pc, inst.imm);
+    case Format::S:
+      return m + " " + reg_name(info.src2, inst.rs2) + ", " +
+             std::to_string(inst.imm) + "(" + reg_name(info.src1, inst.rs1) +
+             ")";
+    case Format::J:
+      return m + " " + reg_name(info.dst, inst.rd) + ", " +
+             hex_target(pc, inst.imm);
+    case Format::N:
+      return m;
+  }
+  return m;
+}
+
+}  // namespace erel::isa

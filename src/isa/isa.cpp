@@ -1,0 +1,130 @@
+#include "isa/isa.hpp"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+#include "common/log.hpp"
+
+namespace erel::isa {
+
+namespace {
+
+using enum RegClass;
+using enum Format;
+using F = FuClass;
+
+constexpr std::uint8_t kLatIntAlu = 1;
+constexpr std::uint8_t kLatIntMul = 7;
+constexpr std::uint8_t kLatIntDiv = 12;
+constexpr std::uint8_t kLatFpAlu = 4;
+constexpr std::uint8_t kLatFpMul = 4;
+constexpr std::uint8_t kLatFpDiv = 16;
+constexpr std::uint8_t kLatAgen = 1;  // address generation before cache access
+
+constexpr std::array<OpInfo, kNumOpcodes> build_table() {
+  std::array<OpInfo, kNumOpcodes> t{};
+  auto set = [&t](Opcode op, OpInfo info) {
+    t[static_cast<unsigned>(op)] = info;
+  };
+  set(Opcode::ILLEGAL, {"illegal", N, F::IntAlu, 1, None, None, None, 0, 0});
+
+  // Integer ALU register forms.
+  set(Opcode::ADD,  {"add",  R, F::IntAlu, kLatIntAlu, Int, Int, Int, 0, 0});
+  set(Opcode::SUB,  {"sub",  R, F::IntAlu, kLatIntAlu, Int, Int, Int, 0, 0});
+  set(Opcode::AND,  {"and",  R, F::IntAlu, kLatIntAlu, Int, Int, Int, 0, 0});
+  set(Opcode::OR,   {"or",   R, F::IntAlu, kLatIntAlu, Int, Int, Int, 0, 0});
+  set(Opcode::XOR,  {"xor",  R, F::IntAlu, kLatIntAlu, Int, Int, Int, 0, 0});
+  set(Opcode::SLL,  {"sll",  R, F::IntAlu, kLatIntAlu, Int, Int, Int, 0, 0});
+  set(Opcode::SRL,  {"srl",  R, F::IntAlu, kLatIntAlu, Int, Int, Int, 0, 0});
+  set(Opcode::SRA,  {"sra",  R, F::IntAlu, kLatIntAlu, Int, Int, Int, 0, 0});
+  set(Opcode::SLT,  {"slt",  R, F::IntAlu, kLatIntAlu, Int, Int, Int, 0, 0});
+  set(Opcode::SLTU, {"sltu", R, F::IntAlu, kLatIntAlu, Int, Int, Int, 0, 0});
+
+  // Integer ALU immediate forms.
+  set(Opcode::ADDI,  {"addi",  I, F::IntAlu, kLatIntAlu, Int, Int, None, 0, 0});
+  set(Opcode::ANDI,  {"andi",  I, F::IntAlu, kLatIntAlu, Int, Int, None, 0, 0});
+  set(Opcode::ORI,   {"ori",   I, F::IntAlu, kLatIntAlu, Int, Int, None, 0, 0});
+  set(Opcode::XORI,  {"xori",  I, F::IntAlu, kLatIntAlu, Int, Int, None, 0, 0});
+  set(Opcode::SLLI,  {"slli",  I, F::IntAlu, kLatIntAlu, Int, Int, None, 0, 0});
+  set(Opcode::SRLI,  {"srli",  I, F::IntAlu, kLatIntAlu, Int, Int, None, 0, 0});
+  set(Opcode::SRAI,  {"srai",  I, F::IntAlu, kLatIntAlu, Int, Int, None, 0, 0});
+  set(Opcode::SLTI,  {"slti",  I, F::IntAlu, kLatIntAlu, Int, Int, None, 0, 0});
+  set(Opcode::SLTIU, {"sltiu", I, F::IntAlu, kLatIntAlu, Int, Int, None, 0, 0});
+  set(Opcode::LUI,   {"lui",   U, F::IntAlu, kLatIntAlu, Int, None, None, 0, 0});
+
+  // Integer multiply / divide (shared IntMul unit).
+  set(Opcode::MUL, {"mul", R, F::IntMul, kLatIntMul, Int, Int, Int, 0, 0});
+  set(Opcode::DIV, {"div", R, F::IntMul, kLatIntDiv, Int, Int, Int, 0, 0});
+  set(Opcode::REM, {"rem", R, F::IntMul, kLatIntDiv, Int, Int, Int, 0, 0});
+
+  // FP simple.
+  set(Opcode::FADD, {"fadd", R, F::FpAlu, kLatFpAlu, Fp, Fp, Fp, 0, 0});
+  set(Opcode::FSUB, {"fsub", R, F::FpAlu, kLatFpAlu, Fp, Fp, Fp, 0, 0});
+  set(Opcode::FMIN, {"fmin", R, F::FpAlu, kLatFpAlu, Fp, Fp, Fp, 0, 0});
+  set(Opcode::FMAX, {"fmax", R, F::FpAlu, kLatFpAlu, Fp, Fp, Fp, 0, 0});
+  set(Opcode::FABS, {"fabs", R, F::FpAlu, kLatFpAlu, Fp, Fp, None, 0, 0});
+  set(Opcode::FNEG, {"fneg", R, F::FpAlu, kLatFpAlu, Fp, Fp, None, 0, 0});
+  set(Opcode::FMOV, {"fmov", R, F::FpAlu, kLatFpAlu, Fp, Fp, None, 0, 0});
+  set(Opcode::FEQ,  {"feq",  R, F::FpAlu, kLatFpAlu, Int, Fp, Fp, 0, 0});
+  set(Opcode::FLT,  {"flt",  R, F::FpAlu, kLatFpAlu, Int, Fp, Fp, 0, 0});
+  set(Opcode::FLE,  {"fle",  R, F::FpAlu, kLatFpAlu, Int, Fp, Fp, 0, 0});
+  set(Opcode::CVTDI, {"cvtdi", R, F::FpAlu, kLatFpAlu, Fp, Int, None, 0, 0});
+  set(Opcode::CVTID, {"cvtid", R, F::FpAlu, kLatFpAlu, Int, Fp, None, 0, 0});
+
+  // FP multiply / divide.
+  set(Opcode::FMUL,  {"fmul",  R, F::FpMul, kLatFpMul, Fp, Fp, Fp, 0, 0});
+  set(Opcode::FDIV,  {"fdiv",  R, F::FpDiv, kLatFpDiv, Fp, Fp, Fp, 0, 0});
+  set(Opcode::FSQRT, {"fsqrt", R, F::FpDiv, kLatFpDiv, Fp, Fp, None, 0, 0});
+
+  // Memory. Loads use the I format (rd, imm(rs1)); stores the S format
+  // (rs2 holds the data, rs1 the base).
+  set(Opcode::LD,  {"ld",  I, F::LdSt, kLatAgen, Int, Int, None, kFlagLoad, 8});
+  set(Opcode::LW,  {"lw",  I, F::LdSt, kLatAgen, Int, Int, None, kFlagLoad, 4});
+  set(Opcode::LBU, {"lbu", I, F::LdSt, kLatAgen, Int, Int, None, kFlagLoad, 1});
+  set(Opcode::SD,  {"sd",  S, F::LdSt, kLatAgen, None, Int, Int, kFlagStore, 8});
+  set(Opcode::SW,  {"sw",  S, F::LdSt, kLatAgen, None, Int, Int, kFlagStore, 4});
+  set(Opcode::SB,  {"sb",  S, F::LdSt, kLatAgen, None, Int, Int, kFlagStore, 1});
+  set(Opcode::FLD, {"fld", I, F::LdSt, kLatAgen, Fp, Int, None, kFlagLoad, 8});
+  set(Opcode::FSD, {"fsd", S, F::LdSt, kLatAgen, None, Int, Fp, kFlagStore, 8});
+
+  // Control.
+  set(Opcode::BEQ,  {"beq",  B, F::IntAlu, 1, None, Int, Int, kFlagCondBranch, 0});
+  set(Opcode::BNE,  {"bne",  B, F::IntAlu, 1, None, Int, Int, kFlagCondBranch, 0});
+  set(Opcode::BLT,  {"blt",  B, F::IntAlu, 1, None, Int, Int, kFlagCondBranch, 0});
+  set(Opcode::BGE,  {"bge",  B, F::IntAlu, 1, None, Int, Int, kFlagCondBranch, 0});
+  set(Opcode::BLTU, {"bltu", B, F::IntAlu, 1, None, Int, Int, kFlagCondBranch, 0});
+  set(Opcode::BGEU, {"bgeu", B, F::IntAlu, 1, None, Int, Int, kFlagCondBranch, 0});
+  set(Opcode::JAL,  {"jal",  J, F::IntAlu, 1, Int, None, None,
+                     kFlagDirectJump | kFlagCall, 0});
+  set(Opcode::JALR, {"jalr", I, F::IntAlu, 1, Int, Int, None,
+                     kFlagIndirectJump | kFlagCall, 0});
+  set(Opcode::HALT, {"halt", N, F::None, 1, None, None, None, kFlagHalt, 0});
+  return t;
+}
+
+constexpr std::array<OpInfo, kNumOpcodes> kOpTable = build_table();
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) {
+  const auto idx = static_cast<unsigned>(op);
+  EREL_CHECK(idx < kNumOpcodes, "opcode ", idx);
+  return kOpTable[idx];
+}
+
+std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic) {
+  static const std::unordered_map<std::string_view, Opcode> map = [] {
+    std::unordered_map<std::string_view, Opcode> m;
+    for (unsigned i = 1; i < kNumOpcodes; ++i) {
+      const auto op = static_cast<Opcode>(i);
+      m.emplace(op_info(op).mnemonic, op);
+    }
+    return m;
+  }();
+  const auto it = map.find(mnemonic);
+  if (it == map.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace erel::isa

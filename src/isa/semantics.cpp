@@ -1,0 +1,124 @@
+#include "isa/semantics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace erel::isa {
+
+namespace {
+
+constexpr std::uint64_t kCanonicalNan = 0x7ff8000000000000ull;
+
+std::int64_t s(std::uint64_t v) { return static_cast<std::int64_t>(v); }
+std::uint64_t u(std::int64_t v) { return static_cast<std::uint64_t>(v); }
+
+/// Signed division with fixed edge cases: x/0 == -1, INT64_MIN/-1 == INT64_MIN
+/// (matching the common RISC convention and avoiding C++ UB).
+std::int64_t safe_div(std::int64_t a, std::int64_t b) {
+  if (b == 0) return -1;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return a;
+  return a / b;
+}
+
+/// Remainder with matching conventions: x%0 == x, INT64_MIN%-1 == 0.
+std::int64_t safe_rem(std::int64_t a, std::int64_t b) {
+  if (b == 0) return a;
+  if (a == std::numeric_limits<std::int64_t>::min() && b == -1) return 0;
+  return a % b;
+}
+
+/// double -> int64 without UB: NaN -> 0, out-of-range saturates.
+std::int64_t fp_to_int(double d) {
+  if (std::isnan(d)) return 0;
+  constexpr double kMax = 9.2233720368547758e18;  // ~INT64_MAX
+  if (d >= kMax) return std::numeric_limits<std::int64_t>::max();
+  if (d <= -kMax) return std::numeric_limits<std::int64_t>::min();
+  return static_cast<std::int64_t>(d);
+}
+
+}  // namespace
+
+std::uint64_t canonical_fp(double value) {
+  if (std::isnan(value)) return kCanonicalNan;
+  return f2u(value);
+}
+
+std::uint64_t exec_alu(Opcode op, std::uint64_t a, std::uint64_t b,
+                       std::int32_t imm) {
+  const std::uint64_t uimm = static_cast<std::uint32_t>(imm);  // zero-extended
+  const std::int64_t simm = imm;                               // sign value
+  switch (op) {
+    case Opcode::ADD: return a + b;
+    case Opcode::SUB: return a - b;
+    case Opcode::AND: return a & b;
+    case Opcode::OR: return a | b;
+    case Opcode::XOR: return a ^ b;
+    case Opcode::SLL: return a << (b & 63);
+    case Opcode::SRL: return a >> (b & 63);
+    case Opcode::SRA: return u(s(a) >> (b & 63));
+    case Opcode::SLT: return s(a) < s(b) ? 1 : 0;
+    case Opcode::SLTU: return a < b ? 1 : 0;
+
+    case Opcode::ADDI: return a + u(simm);
+    // Logical immediates zero-extend (MIPS convention); arithmetic ones sign-
+    // extend. The assembler's `li` expansion relies on ORI zero-extension.
+    case Opcode::ANDI: return a & uimm;
+    case Opcode::ORI: return a | uimm;
+    case Opcode::XORI: return a ^ uimm;
+    case Opcode::SLLI: return a << (imm & 63);
+    case Opcode::SRLI: return a >> (imm & 63);
+    case Opcode::SRAI: return u(s(a) >> (imm & 63));
+    case Opcode::SLTI: return s(a) < simm ? 1 : 0;
+    case Opcode::SLTIU: return a < u(simm) ? 1 : 0;
+    // LUI materializes imm19 << 13 (sign-extended), the assembler pairs it
+    // with ORI to synthesize 32-bit constants.
+    case Opcode::LUI: return u(simm << 13);
+
+    case Opcode::MUL: return a * b;
+    case Opcode::DIV: return u(safe_div(s(a), s(b)));
+    case Opcode::REM: return u(safe_rem(s(a), s(b)));
+
+    case Opcode::FADD: return canonical_fp(u2f(a) + u2f(b));
+    case Opcode::FSUB: return canonical_fp(u2f(a) - u2f(b));
+    case Opcode::FMUL: return canonical_fp(u2f(a) * u2f(b));
+    case Opcode::FDIV: return canonical_fp(u2f(a) / u2f(b));
+    case Opcode::FSQRT:
+      // sqrt of a negative operand yields the canonical NaN.
+      return u2f(a) < 0.0 ? kCanonicalNan : canonical_fp(std::sqrt(u2f(a)));
+    case Opcode::FMIN:
+      return canonical_fp(std::fmin(u2f(a), u2f(b)));
+    case Opcode::FMAX:
+      return canonical_fp(std::fmax(u2f(a), u2f(b)));
+    case Opcode::FABS: return canonical_fp(std::fabs(u2f(a)));
+    case Opcode::FNEG: return canonical_fp(-u2f(a));
+    case Opcode::FMOV: return a;
+    case Opcode::FEQ: return u2f(a) == u2f(b) ? 1 : 0;
+    case Opcode::FLT: return u2f(a) < u2f(b) ? 1 : 0;
+    case Opcode::FLE: return u2f(a) <= u2f(b) ? 1 : 0;
+    case Opcode::CVTDI: return canonical_fp(static_cast<double>(s(a)));
+    case Opcode::CVTID: return u(fp_to_int(u2f(a)));
+
+    default:
+      EREL_FATAL("exec_alu on non-ALU opcode ",
+                 std::string(op_info(op).mnemonic));
+  }
+}
+
+bool branch_taken(Opcode op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case Opcode::BEQ: return a == b;
+    case Opcode::BNE: return a != b;
+    case Opcode::BLT: return s(a) < s(b);
+    case Opcode::BGE: return s(a) >= s(b);
+    case Opcode::BLTU: return a < b;
+    case Opcode::BGEU: return a >= b;
+    default:
+      EREL_FATAL("branch_taken on non-branch opcode ",
+                 std::string(op_info(op).mnemonic));
+  }
+}
+
+}  // namespace erel::isa

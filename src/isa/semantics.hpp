@@ -1,0 +1,33 @@
+// Pure execution semantics, shared by the in-order functional oracle and the
+// out-of-order timing pipeline so the two can never diverge on arithmetic.
+//
+// Values are passed as raw 64-bit patterns; FP opcodes reinterpret them as
+// IEEE-754 doubles. All operations are fully defined (no UB): divides by
+// zero, INT64_MIN/-1, NaN propagation and out-of-range conversions all have
+// fixed results (documented next to each case).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/isa.hpp"
+
+namespace erel::isa {
+
+/// Computes the destination value for every non-memory, non-control opcode
+/// (and the link value is handled by the caller for JAL/JALR).
+/// `a` = first source value, `b` = second source value, `imm` = immediate.
+std::uint64_t exec_alu(Opcode op, std::uint64_t a, std::uint64_t b,
+                       std::int32_t imm);
+
+/// Branch condition for conditional branches.
+bool branch_taken(Opcode op, std::uint64_t a, std::uint64_t b);
+
+/// Effective address for loads/stores: base + byte offset.
+inline std::uint64_t effective_address(std::uint64_t base, std::int32_t imm) {
+  return base + static_cast<std::uint64_t>(static_cast<std::int64_t>(imm));
+}
+
+/// Canonicalizes NaNs so FP results are bit-deterministic across platforms.
+std::uint64_t canonical_fp(double value);
+
+}  // namespace erel::isa

@@ -1,0 +1,68 @@
+#include "mem/cache.hpp"
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+
+namespace erel::mem {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  EREL_CHECK(is_pow2(config.line_bytes), "line size must be a power of two");
+  EREL_CHECK(config.associativity > 0);
+  EREL_CHECK(config.size_bytes % (config.line_bytes * config.associativity) == 0,
+             "cache geometry does not divide evenly");
+  sets_ = config.size_bytes / (config.line_bytes * config.associativity);
+  EREL_CHECK(is_pow2(sets_), "set count must be a power of two");
+  ways_.resize(sets_ * config.associativity);
+}
+
+std::uint64_t Cache::set_index(std::uint64_t addr) const {
+  return (addr / config_.line_bytes) & (sets_ - 1);
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t addr) const {
+  return addr / config_.line_bytes / sets_;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  for (unsigned w = 0; w < config_.associativity; ++w) {
+    const Way& way = ways_[set * config_.associativity + w];
+    if (way.valid && way.tag == tag) return true;
+  }
+  return false;
+}
+
+bool Cache::access(std::uint64_t addr, bool is_write) {
+  ++stats_.accesses;
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  for (unsigned w = 0; w < config_.associativity; ++w) {
+    Way& way = ways_[set * config_.associativity + w];
+    if (way.valid && way.tag == tag) {
+      way.lru = ++lru_clock_;
+      way.dirty = way.dirty || is_write;
+      return true;
+    }
+  }
+  ++stats_.misses;
+  // Miss: pick an invalid way if any, else the least recently used.
+  Way* victim = nullptr;
+  for (unsigned w = 0; w < config_.associativity; ++w) {
+    Way& way = ways_[set * config_.associativity + w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (victim == nullptr || way.lru < victim->lru) victim = &way;
+  }
+  EREL_CHECK(victim != nullptr);
+  if (victim->valid && victim->dirty) ++stats_.writebacks;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->lru = ++lru_clock_;
+  return false;
+}
+
+}  // namespace erel::mem

@@ -1,0 +1,39 @@
+#include "mem/hierarchy.hpp"
+
+namespace erel::mem {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
+    : l1i_(config.l1i),
+      l1d_(config.l1d),
+      l2_(config.l2),
+      memory_latency_(config.memory_latency) {}
+
+unsigned MemoryHierarchy::ifetch(std::uint64_t addr) {
+  unsigned latency = l1i_.config().hit_latency;
+  if (!l1i_.access(addr, /*is_write=*/false)) {
+    latency += l2_.config().hit_latency;
+    if (!l2_.access(addr, /*is_write=*/false)) latency += memory_latency_;
+  }
+  return latency;
+}
+
+unsigned MemoryHierarchy::data_access(std::uint64_t addr, bool is_write) {
+  unsigned latency = l1d_.config().hit_latency;
+  if (!l1d_.access(addr, is_write)) {
+    latency += l2_.config().hit_latency;
+    // The L2 fill is a read regardless of the triggering access type; the
+    // dirty bit lives in L1 under write-back/write-allocate.
+    if (!l2_.access(addr, /*is_write=*/false)) latency += memory_latency_;
+  }
+  return latency;
+}
+
+unsigned MemoryHierarchy::dload(std::uint64_t addr) {
+  return data_access(addr, /*is_write=*/false);
+}
+
+unsigned MemoryHierarchy::dstore(std::uint64_t addr) {
+  return data_access(addr, /*is_write=*/true);
+}
+
+}  // namespace erel::mem

@@ -1,0 +1,515 @@
+#include "pipeline/core.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/log.hpp"
+#include "isa/semantics.hpp"
+
+namespace erel::pipeline {
+
+using core::InstSeq;
+using core::kNoSeq;
+using core::RC;
+using isa::DecodedInst;
+using isa::Opcode;
+using isa::RegClass;
+
+Core::Core(const sim::SimConfig& config, const arch::Program& program)
+    : config_(config),
+      hierarchy_(config.memory),
+      gshare_(config.ghr_bits),
+      btb_(),
+      ras_(),
+      fetch_(config.fetch, mem_, hierarchy_, gshare_, btb_, ras_),
+      ros_(config.ros_size),
+      lsq_(config.lsq_size),
+      fu_pool_(config.fus),
+      rename_({config.phys_int, config.phys_fp, config.policy,
+               config.max_pending_branches, config.policy_factory},
+              *this) {
+  arch::load_program(program, mem_);
+  fetch_.set_pc(program.entry);
+  if (config.check_oracle)
+    oracle_ = std::make_unique<arch::ArchState>(program);
+  if (config.flush_period != 0) next_flush_at_ = config.flush_period;
+}
+
+Core::~Core() = default;
+
+// --- PipelineHooks -----------------------------------------------------
+
+core::RenameRec* Core::find_inflight(InstSeq seq) {
+  if (!ros_.contains(seq)) return nullptr;
+  return &ros_.at(seq).rec;
+}
+
+RosEntry* Core::live_entry(InstSeq seq, std::uint64_t uid) {
+  if (!ros_.contains(seq)) return nullptr;
+  RosEntry& e = ros_.at(seq);
+  return e.uid == uid ? &e : nullptr;
+}
+
+bool Core::branch_pending_between(InstSeq lo, InstSeq hi) const {
+  for (const InstSeq b : pending_branches_) {
+    if (b > lo && b < hi) return true;
+  }
+  return false;
+}
+
+InstSeq Core::newest_pending_branch() const {
+  return pending_branches_.empty() ? kNoSeq : pending_branches_.back();
+}
+
+unsigned Core::pending_branch_count() const {
+  return static_cast<unsigned>(pending_branches_.size());
+}
+
+// --- helpers ------------------------------------------------------------
+
+std::uint64_t Core::operand_value(RegClass cls, core::PhysReg p) const {
+  return rename_.rf(core::rc_from(cls)).value.at(p);
+}
+
+bool Core::operands_ready(const RosEntry& e) const {
+  const core::RenameRec& rec = e.rec;
+  if (rec.c1 != RegClass::None &&
+      !rename_.rf(core::rc_from(rec.c1)).ready[rec.p1])
+    return false;
+  // Stores issue as soon as the base register is ready: address generation
+  // is decoupled from the data (which the LSQ captures when it is produced).
+  // Serializing stores on their data would stall every younger load behind
+  // the conservative disambiguation rule.
+  if (e.inst.is_store()) return true;
+  if (rec.c2 != RegClass::None &&
+      !rename_.rf(core::rc_from(rec.c2)).ready[rec.p2])
+    return false;
+  return true;
+}
+
+std::uint64_t Core::finish_load_value(Opcode op, std::uint64_t raw) const {
+  if (op == Opcode::LW) return static_cast<std::uint64_t>(sext(raw, 32));
+  return raw;  // LD/FLD full width, LBU zero-extended by the byte extract
+}
+
+// --- per-cycle phases ----------------------------------------------------
+
+void Core::phase_fetch() { fetch_.tick(cycle_); }
+
+void Core::phase_dispatch() {
+  unsigned dispatched = 0;
+  while (dispatched < config_.decode_width && !fetch_.buffer_empty()) {
+    const FetchedInst& fi = fetch_.front();
+    const DecodedInst& inst = fi.inst;
+    if (ros_.full()) {
+      ++stats_.stalls.ros_full;
+      return;
+    }
+    if (inst.is_mem() && lsq_.full()) {
+      ++stats_.stalls.lsq_full;
+      return;
+    }
+    const bool needs_checkpoint =
+        inst.is_cond_branch() || inst.is_indirect_jump();
+    if (needs_checkpoint && !rename_.can_checkpoint()) {
+      ++stats_.stalls.checkpoints_full;
+      return;
+    }
+
+    const InstSeq seq = ros_.tail_seq();
+    RosEntry& e = ros_.push(seq);
+    e.uid = next_uid_++;
+    e.pc = fi.pc;
+    e.inst = inst;
+    e.dispatch_cycle = cycle_;
+    e.fault = inst.op == Opcode::ILLEGAL;
+    // The entry must be registered (find_inflight) before renaming: an
+    // instruction can be the last use of its own destination's previous
+    // version (e.g. `add r1, r1, r2`) and then carries its own rel bit.
+    if (!rename_.try_rename(inst, seq, e.rec, cycle_)) {
+      ros_.truncate_after(seq - 1);
+      ++stats_.stalls.free_list_empty;
+      return;
+    }
+    if (inst.is_mem()) {
+      lsq_.push(seq, inst.is_store(), inst.mem_bytes());
+      e.in_lsq = true;
+    }
+    e.predicted_taken = fi.predicted_taken;
+    e.predicted_target = fi.predicted_target;
+    e.ghr_checkpoint = fi.ghr_checkpoint;
+    e.ras_checkpoint = fi.ras_checkpoint;
+    if (needs_checkpoint) {
+      e.has_checkpoint = true;
+      rename_.note_branch_decoded(seq);
+      pending_branches_.push_back(seq);
+    }
+    fetch_.pop_front();
+    ++dispatched;
+    if (inst.is_halt()) return;  // nothing younger dispatches past a HALT
+  }
+}
+
+void Core::execute(RosEntry& e) {
+  const DecodedInst& inst = e.inst;
+  const core::RenameRec& rec = e.rec;
+  const std::uint64_t a =
+      rec.c1 != RegClass::None ? operand_value(rec.c1, rec.p1) : 0;
+  const std::uint64_t b =
+      rec.c2 != RegClass::None ? operand_value(rec.c2, rec.p2) : 0;
+  const unsigned latency = inst.info().latency;
+
+  if (inst.op == Opcode::ILLEGAL || inst.is_halt()) {
+    events_.push({cycle_ + 1, e.seq, e.uid});
+    return;
+  }
+  if (inst.is_mem()) {
+    const std::uint64_t addr = isa::effective_address(a, inst.imm);
+    const bool misaligned = addr % inst.mem_bytes() != 0;
+    if (misaligned) e.fault = true;
+    lsq_.set_address(e.seq, addr, misaligned);
+    if (inst.is_store()) {
+      if (rename_.rf(core::rc_from(rec.c2)).ready[rec.p2]) {
+        lsq_.set_store_data(e.seq, b);
+        events_.push({cycle_ + latency, e.seq, e.uid});
+      } else {
+        pending_stores_.push_back({0, e.seq, e.uid});
+      }
+    } else {
+      pending_loads_.push_back({0, e.seq, e.uid});  // the memory phase takes over
+    }
+    return;
+  }
+  if (inst.is_cond_branch()) {
+    e.actual_taken = isa::branch_taken(inst.op, a, b);
+    e.actual_target =
+        e.actual_taken
+            ? e.pc + static_cast<std::uint64_t>(std::int64_t{inst.imm} * 4)
+            : e.pc + 4;
+    events_.push({cycle_ + latency, e.seq, e.uid});
+    return;
+  }
+  if (inst.is_indirect_jump()) {
+    e.actual_taken = true;
+    e.actual_target =
+        (a + static_cast<std::uint64_t>(std::int64_t{inst.imm})) &
+        ~std::uint64_t{3};
+    e.result = e.pc + 4;
+    e.has_result = true;
+    events_.push({cycle_ + latency, e.seq, e.uid});
+    return;
+  }
+  if (inst.is_direct_jump()) {
+    e.result = e.pc + 4;
+    e.has_result = true;
+    events_.push({cycle_ + latency, e.seq, e.uid});
+    return;
+  }
+  e.result = isa::exec_alu(inst.op, a, b, inst.imm);
+  e.has_result = true;
+  events_.push({cycle_ + latency, e.seq, e.uid});
+}
+
+void Core::phase_issue() {
+  fu_pool_.begin_cycle(cycle_);
+  unsigned issued = 0;
+  for (InstSeq seq = ros_.head_seq();
+       seq < ros_.tail_seq() && issued < config_.issue_width; ++seq) {
+    RosEntry& e = ros_.at(seq);
+    if (e.state != EntryState::Dispatched) continue;
+    if (e.dispatch_cycle >= cycle_) continue;  // issue earliest next cycle
+    if (!operands_ready(e)) continue;
+    const isa::OpInfo& info = e.inst.info();
+    if (!fu_pool_.try_issue(info.fu, cycle_, info.latency)) continue;
+    e.state = EntryState::Issued;
+    e.issue_cycle = cycle_;
+    execute(e);
+    ++issued;
+  }
+}
+
+void Core::phase_memory() {
+  // Stores waiting for their data: capture it the cycle it becomes ready.
+  for (std::size_t i = 0; i < pending_stores_.size();) {
+    const InstSeq seq = pending_stores_[i].seq;
+    RosEntry* entry = live_entry(seq, pending_stores_[i].uid);
+    if (entry == nullptr) {  // squashed
+      pending_stores_.erase(pending_stores_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    const core::RenameRec& rec = entry->rec;
+    if (!rename_.rf(core::rc_from(rec.c2)).ready[rec.p2]) {
+      ++i;
+      continue;
+    }
+    lsq_.set_store_data(seq, operand_value(rec.c2, rec.p2));
+    events_.push({cycle_ + 1, seq, entry->uid});
+    pending_stores_.erase(pending_stores_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+  }
+  for (std::size_t i = 0; i < pending_loads_.size();) {
+    const InstSeq seq = pending_loads_[i].seq;
+    RosEntry* entry = live_entry(seq, pending_loads_[i].uid);
+    if (entry == nullptr) {  // squashed
+      pending_loads_.erase(pending_loads_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    RosEntry& e = *entry;
+    std::uint64_t forwarded = 0;
+    const LoadStatus status = lsq_.query_load(seq, &forwarded);
+    if (status == LoadStatus::Wait) {
+      ++i;
+      continue;
+    }
+    if (status == LoadStatus::Forward) {
+      e.result = finish_load_value(e.inst.op, forwarded);
+      e.has_result = true;
+      events_.push({cycle_ + 1, seq, e.uid});
+    } else {  // Memory
+      if (e.fault) {
+        // Misaligned (wrong-path) load: deliver a dead zero; a committed
+        // fault aborts in phase_commit.
+        e.result = 0;
+        e.has_result = true;
+        events_.push({cycle_ + 1, seq, e.uid});
+      } else {
+        const LsqEntry& le = lsq_.get(seq);
+        const unsigned latency = hierarchy_.dload(le.addr);
+        const std::uint64_t raw = mem_.read(le.addr, le.size);
+        e.result = finish_load_value(e.inst.op, raw);
+        e.has_result = true;
+        events_.push({cycle_ + latency, seq, e.uid});
+      }
+    }
+    pending_loads_.erase(pending_loads_.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+void Core::resolve_branch(RosEntry& e) {
+  const bool is_cond = e.inst.is_cond_branch();
+  const bool mispredicted = e.actual_target != e.predicted_target;
+  if (is_cond) {
+    ++stats_.branches.cond_branches;
+    if (mispredicted) ++stats_.branches.cond_mispredicts;
+    gshare_.resolve(e.pc, e.ghr_checkpoint, e.actual_taken, mispredicted);
+  } else {
+    ++stats_.branches.indirect_jumps;
+    if (mispredicted) ++stats_.branches.indirect_mispredicts;
+    btb_.update(e.pc, e.actual_target);
+  }
+
+  if (!mispredicted) {
+    const auto it = std::find(pending_branches_.begin(),
+                              pending_branches_.end(), e.seq);
+    EREL_CHECK(it != pending_branches_.end());
+    pending_branches_.erase(it);
+    rename_.on_branch_confirmed(e.seq, cycle_);
+    return;
+  }
+
+  // Misprediction: squash younger instructions, repair predictors, restore
+  // rename state, redirect fetch.
+  squash_after(e.seq);
+  // A branch can itself be the LU instruction of a register version (it
+  // reads sources). Any early-release bit on it was scheduled by an NV
+  // younger than the branch — squashed just now — so the scheduling must be
+  // undone with it (the restored map still holds those versions).
+  e.rec.rel_bits = 0;
+  if (is_cond) {
+    gshare_.repair(e.ghr_checkpoint, e.actual_taken);
+  } else {
+    gshare_.restore_history(e.ghr_checkpoint);
+  }
+  ras_.restore(e.ras_checkpoint);
+  while (!pending_branches_.empty() && pending_branches_.back() >= e.seq)
+    pending_branches_.pop_back();
+  rename_.on_branch_mispredicted(e.seq);
+  fetch_.redirect(e.actual_target);
+}
+
+void Core::complete(RosEntry& e) {
+  e.state = EntryState::Completed;
+  e.complete_cycle = cycle_;
+  if (e.rec.has_dst()) {
+    EREL_CHECK(e.has_result, "destination with no result at pc ", e.pc);
+    rename_.rf(core::rc_from(e.rec.cd))
+        .write_value(e.rec.pd, e.result, cycle_);
+  }
+  if (e.is_cond_or_indirect()) resolve_branch(e);
+}
+
+void Core::phase_writeback() {
+  while (!events_.empty() && events_.top().cycle <= cycle_) {
+    const CompletionEvent ev = events_.top();
+    events_.pop();
+    RosEntry* entry = live_entry(ev.seq, ev.uid);
+    if (entry == nullptr) continue;  // squashed since scheduling
+    RosEntry& e = *entry;
+    if (e.state != EntryState::Issued) continue;
+    complete(e);
+    // complete() may squash (mispredict) — the lazy contains() checks above
+    // keep subsequent stale events harmless.
+  }
+}
+
+void Core::phase_commit() {
+  unsigned committed_now = 0;
+  while (committed_now < config_.commit_width && !ros_.empty()) {
+    RosEntry& e = ros_.head();
+    if (e.state != EntryState::Completed) break;
+
+    // Injected exception: flush everything (including the head) and
+    // re-execute from the head's PC — the §4.3 recovery path.
+    if (next_flush_at_ != 0 && committed_ >= next_flush_at_ &&
+        e.seq != last_flushed_seq_) {
+      last_flushed_seq_ = e.seq;
+      next_flush_at_ = committed_ + config_.flush_period;
+      ++stats_.flushes_injected;
+      exception_flush(e.pc);
+      return;
+    }
+
+    if (e.inst.is_halt()) {
+      halted_ = true;
+      return;  // HALT never retires; the machine stops here
+    }
+    EREL_CHECK(!e.fault, "committed faulting instruction at pc ", e.pc,
+               " (illegal opcode or misaligned access)");
+
+    const LsqEntry* mem_entry = nullptr;
+    LsqEntry popped;
+    if (e.inst.is_mem()) {
+      popped = lsq_.pop_commit(e.seq);
+      mem_entry = &popped;
+    }
+    if (oracle_) check_oracle(e, mem_entry);
+    if (e.inst.is_store()) {
+      mem_.write(popped.addr, popped.data, popped.size);
+      hierarchy_.dstore(popped.addr);  // commit-time D-cache update
+    }
+    rename_.on_commit(e.rec, e.seq, cycle_);
+    if (config_.trace) {
+      config_.trace({e.seq, e.pc, isa::encode(e.inst), e.dispatch_cycle,
+                     e.issue_cycle, e.complete_cycle, cycle_});
+    }
+    ros_.pop_head();
+    ++committed_;
+    ++committed_now;
+    last_commit_cycle_ = cycle_;
+  }
+}
+
+void Core::check_oracle(const RosEntry& e, const LsqEntry* mem_entry) {
+  const arch::StepInfo s = oracle_->step();
+  EREL_CHECK(s.pc == e.pc, "oracle divergence: committed pc ", e.pc,
+             " but oracle at ", s.pc, " (seq ", e.seq, ")");
+  if (e.rec.has_dst()) {
+    EREL_CHECK(s.has_dst);
+    const std::uint64_t got =
+        rename_.rf(core::rc_from(e.rec.cd)).value.at(e.rec.pd);
+    EREL_CHECK(got == s.dst_value, "oracle divergence at pc ", e.pc,
+               ": dest value ", got, " != ", s.dst_value);
+  }
+  if (e.inst.is_store()) {
+    EREL_CHECK(mem_entry != nullptr && s.is_store);
+    EREL_CHECK(mem_entry->addr == s.mem_addr && mem_entry->data == s.store_value,
+               "oracle divergence at store pc ", e.pc);
+  }
+  if (e.inst.is_load()) {
+    EREL_CHECK(mem_entry != nullptr && s.is_load);
+    EREL_CHECK(mem_entry->addr == s.mem_addr, "oracle divergence at load pc ",
+               e.pc);
+  }
+}
+
+void Core::squash_after(InstSeq boundary) {
+  for (InstSeq seq = ros_.tail_seq(); seq-- > boundary + 1;) {
+    RosEntry& e = ros_.at(seq);
+    rename_.on_squash_entry(e.rec, cycle_);
+    if (e.rec.has_dst() && !e.rec.reused_prev)
+      ++stats_.squash_released[static_cast<unsigned>(core::rc_from(e.rec.cd))];
+  }
+  ros_.truncate_after(boundary);
+  lsq_.squash_after(boundary);
+  std::erase_if(pending_loads_, [boundary](const CompletionEvent& ev) {
+    return ev.seq > boundary;
+  });
+  std::erase_if(pending_stores_, [boundary](const CompletionEvent& ev) {
+    return ev.seq > boundary;
+  });
+}
+
+void Core::exception_flush(std::uint64_t resume_pc) {
+  for (InstSeq seq = ros_.tail_seq(); seq-- > ros_.head_seq();) {
+    rename_.on_squash_entry(ros_.at(seq).rec, cycle_);
+  }
+  ros_.clear();
+  lsq_.clear();
+  pending_loads_.clear();
+  pending_stores_.clear();
+  pending_branches_.clear();
+  while (!events_.empty()) events_.pop();
+  rename_.on_exception_flush(cycle_);
+  fetch_.redirect(resume_pc);
+}
+
+void Core::tick() {
+  ++cycle_;
+  phase_commit();
+  if (halted_) return;
+  phase_writeback();
+  phase_memory();
+  phase_issue();
+  phase_dispatch();
+  phase_fetch();
+
+  // Deadlock watchdog: with a non-empty pipeline something must commit
+  // within a bounded window (longest chain: FP div + L2 misses).
+  if (!ros_.empty() && cycle_ - last_commit_cycle_ > 20000) {
+    EREL_FATAL("no commit for 20000 cycles at cycle ", cycle_, ", head pc ",
+               ros_.head().pc, " state ",
+               static_cast<int>(ros_.head().state));
+  }
+}
+
+sim::SimStats Core::run() {
+  while (!halted_ && cycle_ < config_.max_cycles &&
+         (config_.max_instructions == 0 ||
+          committed_ < config_.max_instructions)) {
+    tick();
+  }
+  stats_.cycles = cycle_;
+  stats_.committed = committed_;
+  stats_.halted = halted_;
+  stats_.icache_stall_cycles = fetch_.icache_stall_cycles();
+  for (unsigned c = 0; c < core::kNumClasses; ++c) {
+    const auto cls = static_cast<RC>(c);
+    stats_.policy_stats[c] = rename_.policy(cls).stats();
+    rename_.rf(cls).tracker.finalize(cycle_);
+    stats_.occupancy[c] = rename_.rf(cls).tracker.occupancy(cycle_);
+  }
+  stats_.l1i = hierarchy_.l1i().stats();
+  stats_.l1d = hierarchy_.l1d().stats();
+  stats_.l2 = hierarchy_.l2().stats();
+  return stats_;
+}
+
+std::uint64_t Core::arch_reg(RC cls, unsigned logical, bool* stale) const {
+  const core::Mapping& m = rename_.rf(cls).iomt.get(logical);
+  if (stale != nullptr) *stale = m.stale;
+  return rename_.rf(cls).value.at(m.phys);
+}
+
+bool Core::conservation_holds() const {
+  for (unsigned c = 0; c < core::kNumClasses; ++c) {
+    const auto& rf = rename_.rf(static_cast<RC>(c));
+    if (rf.free_list.size() + rf.tracker.allocated_count() != rf.num_phys)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace erel::pipeline

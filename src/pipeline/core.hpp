@@ -1,0 +1,136 @@
+// The out-of-order execution core: an execute-driven, cycle-level model of
+// the paper's Table 2 processor. Wrong-path instructions are genuinely
+// fetched, renamed and executed (they hold physical registers — the resource
+// this paper studies), and are squashed on branch resolution.
+//
+// Per-cycle phase order (tick): commit -> writeback/resolve -> memory stage
+// -> issue -> dispatch/rename -> fetch. Earlier phases see the state left by
+// the previous cycle, so results written back in cycle T feed issues in T
+// (one-cycle producer-consumer distance for single-cycle ops) and commits in
+// T+1.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "arch/arch_state.hpp"
+#include "arch/memory.hpp"
+#include "arch/program.hpp"
+#include "branch/btb.hpp"
+#include "branch/gshare.hpp"
+#include "branch/ras.hpp"
+#include "core/rename_unit.hpp"
+#include "core/types.hpp"
+#include "mem/hierarchy.hpp"
+#include "pipeline/fetch.hpp"
+#include "pipeline/fu_pool.hpp"
+#include "pipeline/lsq.hpp"
+#include "pipeline/ros.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace erel::pipeline {
+
+class Core final : public core::PipelineHooks {
+ public:
+  Core(const sim::SimConfig& config, const arch::Program& program);
+  ~Core() override;
+
+  /// Advances one cycle.
+  void tick();
+
+  /// Runs until HALT commits or a run-control limit is reached; returns the
+  /// final statistics.
+  sim::SimStats run();
+
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+  [[nodiscard]] std::uint64_t committed() const { return committed_; }
+
+  /// Committed architectural state (for result checks; stale mappings hold
+  /// dead values, flagged via `stale`).
+  [[nodiscard]] std::uint64_t arch_reg(core::RC cls, unsigned logical,
+                                       bool* stale = nullptr) const;
+  [[nodiscard]] const arch::SparseMemory& memory() const { return mem_; }
+
+  [[nodiscard]] const core::RenameUnit& rename_unit() const { return rename_; }
+
+  /// Invariant probe for tests: free + allocated == P per class.
+  [[nodiscard]] bool conservation_holds() const;
+
+  // --- core::PipelineHooks ---
+  core::RenameRec* find_inflight(core::InstSeq seq) override;
+  bool branch_pending_between(core::InstSeq lo,
+                              core::InstSeq hi) const override;
+  core::InstSeq newest_pending_branch() const override;
+  unsigned pending_branch_count() const override;
+
+ private:
+  struct CompletionEvent {
+    std::uint64_t cycle;
+    core::InstSeq seq;
+    std::uint64_t uid;  // must match the ROS entry (seqs recycle on squash)
+    bool operator>(const CompletionEvent& other) const {
+      return cycle > other.cycle;
+    }
+  };
+
+  /// Entry for `seq` if it is still the same dynamic instruction.
+  RosEntry* live_entry(core::InstSeq seq, std::uint64_t uid);
+
+  void phase_commit();
+  void phase_writeback();
+  void phase_memory();
+  void phase_issue();
+  void phase_dispatch();
+  void phase_fetch();
+
+  [[nodiscard]] bool operands_ready(const RosEntry& e) const;
+  [[nodiscard]] std::uint64_t operand_value(isa::RegClass cls,
+                                            core::PhysReg p) const;
+  void execute(RosEntry& e);
+  void complete(RosEntry& e);
+  void resolve_branch(RosEntry& e);
+  void squash_after(core::InstSeq boundary);
+  void exception_flush(std::uint64_t resume_pc);
+  void check_oracle(const RosEntry& e, const LsqEntry* mem_entry);
+  [[nodiscard]] std::uint64_t finish_load_value(isa::Opcode op,
+                                                std::uint64_t raw) const;
+
+  sim::SimConfig config_;
+  arch::SparseMemory mem_;  // committed memory state
+  mem::MemoryHierarchy hierarchy_;
+  branch::Gshare gshare_;
+  branch::Btb btb_;
+  branch::Ras ras_;
+  FetchUnit fetch_;
+  Ros ros_;
+  Lsq lsq_;
+  FuPool fu_pool_;
+  core::RenameUnit rename_;
+
+  std::deque<core::InstSeq> pending_branches_;  // unresolved, decode order
+  std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                      std::greater<>>
+      events_;
+  std::vector<CompletionEvent> pending_loads_;   // cycle field unused
+  std::vector<CompletionEvent> pending_stores_;  // address known, data pending
+  std::uint64_t next_uid_ = 1;
+
+  std::unique_ptr<arch::ArchState> oracle_;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t committed_ = 0;
+  bool halted_ = false;
+  std::uint64_t last_commit_cycle_ = 0;  // deadlock watchdog
+  std::uint64_t next_flush_at_ = 0;
+  core::InstSeq last_flushed_seq_ = core::kNoSeq;
+
+  sim::SimStats stats_;
+};
+
+}  // namespace erel::pipeline

@@ -1,0 +1,77 @@
+// Instruction fetch: 8-wide, up to two fetch blocks (i.e. it can follow one
+// taken branch per cycle, paper Table 2: "up to 2 taken branches"),
+// predecoded predictions (gshare + BTB + RAS), I-cache latency modelled per
+// line touched.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "arch/memory.hpp"
+#include "branch/btb.hpp"
+#include "branch/gshare.hpp"
+#include "branch/ras.hpp"
+#include "isa/isa.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace erel::pipeline {
+
+/// One predecoded instruction flowing from fetch to dispatch.
+struct FetchedInst {
+  std::uint64_t pc = 0;
+  isa::DecodedInst inst;
+  bool predicted_taken = false;      // control only
+  std::uint64_t predicted_target = 0;
+  std::uint32_t ghr_checkpoint = 0;  // conditional branches
+  branch::Ras::Checkpoint ras_checkpoint;  // cond + indirect
+};
+
+struct FetchConfig {
+  unsigned width = 8;
+  unsigned max_blocks_per_cycle = 2;
+  unsigned buffer_capacity = 16;
+};
+
+class FetchUnit {
+ public:
+  FetchUnit(const FetchConfig& config, const arch::SparseMemory& memory,
+            mem::MemoryHierarchy& hierarchy, branch::Gshare& gshare,
+            branch::Btb& btb, branch::Ras& ras);
+
+  void set_pc(std::uint64_t pc) { pc_ = pc; }
+
+  /// Squash recovery: drops buffered instructions and restarts at `pc`.
+  void redirect(std::uint64_t pc);
+
+  /// Fetches up to width instructions into the buffer.
+  void tick(std::uint64_t cycle);
+
+  [[nodiscard]] bool buffer_empty() const { return buffer_.empty(); }
+  [[nodiscard]] const FetchedInst& front() const { return buffer_.front(); }
+  void pop_front() { buffer_.pop_front(); }
+
+  [[nodiscard]] std::uint64_t icache_stall_cycles() const {
+    return icache_stall_cycles_;
+  }
+
+ private:
+  /// Predicts one control instruction and applies speculative predictor
+  /// updates (GHR shift, RAS push/pop).
+  void predict(FetchedInst& fi);
+
+  FetchConfig config_;
+  const arch::SparseMemory& memory_;
+  mem::MemoryHierarchy& hierarchy_;
+  branch::Gshare& gshare_;
+  branch::Btb& btb_;
+  branch::Ras& ras_;
+
+  std::deque<FetchedInst> buffer_;
+  std::uint64_t pc_ = 0;
+  std::uint64_t icache_ready_cycle_ = 0;  // stalled on an I-cache miss until
+  std::uint64_t current_line_ = ~std::uint64_t{0};
+  bool halted_ = false;  // saw HALT; stop fetching until redirect
+  std::uint64_t icache_stall_cycles_ = 0;
+};
+
+}  // namespace erel::pipeline

@@ -1,0 +1,47 @@
+#include "pipeline/fu_pool.hpp"
+
+#include "common/log.hpp"
+
+namespace erel::pipeline {
+
+FuPool::FuPool(const FuConfig& config)
+    : config_(config), div_busy_until_(config.fp_div, 0) {}
+
+void FuPool::begin_cycle(std::uint64_t) { issued_this_cycle_.fill(0); }
+
+unsigned FuPool::count(isa::FuClass cls) const {
+  switch (cls) {
+    case isa::FuClass::None: return ~0u;
+    case isa::FuClass::IntAlu: return config_.int_alu;
+    case isa::FuClass::IntMul: return config_.int_mul;
+    case isa::FuClass::FpAlu: return config_.fp_alu;
+    case isa::FuClass::FpMul: return config_.fp_mul;
+    case isa::FuClass::FpDiv: return config_.fp_div;
+    case isa::FuClass::LdSt: return config_.ld_st;
+  }
+  return 0;
+}
+
+bool FuPool::try_issue(isa::FuClass cls, std::uint64_t cycle,
+                       unsigned latency) {
+  if (cls == isa::FuClass::None) return true;
+  auto& issued = issued_this_cycle_[static_cast<unsigned>(cls)];
+  if (cls == isa::FuClass::FpDiv) {
+    // Unpipelined: a unit must be idle, and it stays busy for the full
+    // latency of the operation.
+    if (issued >= config_.fp_div) return false;
+    for (auto& busy_until : div_busy_until_) {
+      if (busy_until <= cycle) {
+        busy_until = cycle + latency;
+        ++issued;
+        return true;
+      }
+    }
+    return false;
+  }
+  if (issued >= count(cls)) return false;
+  ++issued;
+  return true;
+}
+
+}  // namespace erel::pipeline

@@ -1,0 +1,45 @@
+// Functional-unit pool with the paper's Table 2 mix:
+//   8 simple int (1 cy) | 4 int mult (7 cy; divide 12 cy) | 6 simple FP (4)
+//   4 FP mult (4)       | 4 FP div (16, unpipelined)      | 4 load/store
+// All units are fully pipelined except the FP divider, whose initiation
+// interval equals its latency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace erel::pipeline {
+
+struct FuConfig {
+  unsigned int_alu = 8;
+  unsigned int_mul = 4;
+  unsigned fp_alu = 6;
+  unsigned fp_mul = 4;
+  unsigned fp_div = 4;
+  unsigned ld_st = 4;
+};
+
+class FuPool {
+ public:
+  explicit FuPool(const FuConfig& config);
+
+  /// Resets the per-cycle issue counters; call once per simulated cycle.
+  void begin_cycle(std::uint64_t cycle);
+
+  /// Tries to reserve a unit of `cls` for an op issued at `cycle`. Returns
+  /// false when every unit of the class is taken this cycle (or, for the
+  /// unpipelined divider, still busy with an earlier op).
+  bool try_issue(isa::FuClass cls, std::uint64_t cycle, unsigned latency);
+
+  [[nodiscard]] unsigned count(isa::FuClass cls) const;
+
+ private:
+  FuConfig config_;
+  std::array<unsigned, isa::kNumFuClasses> issued_this_cycle_{};
+  std::vector<std::uint64_t> div_busy_until_;  // per FP-div unit
+};
+
+}  // namespace erel::pipeline

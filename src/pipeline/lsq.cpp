@@ -1,0 +1,106 @@
+#include "pipeline/lsq.hpp"
+
+#include "common/log.hpp"
+
+namespace erel::pipeline {
+
+namespace {
+
+bool ranges_overlap(std::uint64_t a, unsigned a_size, std::uint64_t b,
+                    unsigned b_size) {
+  return a < b + b_size && b < a + a_size;
+}
+
+bool range_covers(std::uint64_t outer, unsigned outer_size, std::uint64_t inner,
+                  unsigned inner_size) {
+  return outer <= inner && inner + inner_size <= outer + outer_size;
+}
+
+}  // namespace
+
+Lsq::Lsq(unsigned capacity) : capacity_(capacity) {
+  EREL_CHECK(capacity > 0);
+}
+
+void Lsq::push(core::InstSeq seq, bool is_store, unsigned size) {
+  EREL_CHECK(!full(), "push into full LSQ");
+  EREL_CHECK(entries_.empty() || entries_.back().seq < seq);
+  LsqEntry entry;
+  entry.seq = seq;
+  entry.is_store = is_store;
+  entry.size = static_cast<std::uint8_t>(size);
+  entries_.push_back(entry);
+}
+
+const LsqEntry& Lsq::find(core::InstSeq seq) const {
+  for (const LsqEntry& e : entries_) {
+    if (e.seq == seq) return e;
+  }
+  EREL_FATAL("LSQ entry not found for seq ", seq);
+}
+
+LsqEntry& Lsq::find(core::InstSeq seq) {
+  return const_cast<LsqEntry&>(static_cast<const Lsq*>(this)->find(seq));
+}
+
+void Lsq::set_address(core::InstSeq seq, std::uint64_t addr, bool misaligned) {
+  LsqEntry& e = find(seq);
+  e.addr_known = true;
+  e.addr = addr;
+  e.misaligned = misaligned;
+}
+
+void Lsq::set_store_data(core::InstSeq seq, std::uint64_t data) {
+  LsqEntry& e = find(seq);
+  EREL_CHECK(e.is_store);
+  e.data_ready = true;
+  e.data = data;
+}
+
+LoadStatus Lsq::query_load(core::InstSeq seq, std::uint64_t* value) const {
+  const LsqEntry& load = find(seq);
+  EREL_CHECK(!load.is_store && load.addr_known);
+  // Scan older stores from youngest to oldest.
+  const LsqEntry* covering = nullptr;
+  bool any_overlap = false;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const LsqEntry& e = *it;
+    if (e.seq >= seq) continue;
+    if (!e.is_store) continue;
+    if (!e.addr_known) return LoadStatus::Wait;  // conservative rule
+    if (!ranges_overlap(e.addr, e.size, load.addr, load.size)) continue;
+    if (!any_overlap) {
+      // Youngest overlapping older store decides.
+      any_overlap = true;
+      if (range_covers(e.addr, e.size, load.addr, load.size)) covering = &e;
+    }
+    // Keep scanning: an even older store with an unknown address would have
+    // returned Wait above, so completing the loop is just overlap bookkeeping.
+  }
+  if (!any_overlap) return LoadStatus::Memory;
+  if (covering == nullptr) return LoadStatus::Wait;  // partial overlap
+  if (!covering->data_ready) return LoadStatus::Wait;
+  if (value != nullptr) {
+    const unsigned shift =
+        static_cast<unsigned>(load.addr - covering->addr) * 8;
+    std::uint64_t raw = covering->data >> shift;
+    if (load.size < 8) raw &= (std::uint64_t{1} << (load.size * 8)) - 1;
+    *value = raw;
+  }
+  return LoadStatus::Forward;
+}
+
+LsqEntry Lsq::pop_commit(core::InstSeq seq) {
+  EREL_CHECK(!entries_.empty() && entries_.front().seq == seq,
+             "commit order violated in LSQ");
+  const LsqEntry entry = entries_.front();
+  entries_.pop_front();
+  return entry;
+}
+
+void Lsq::squash_after(core::InstSeq boundary) {
+  while (!entries_.empty() && entries_.back().seq > boundary)
+    entries_.pop_back();
+}
+
+}  // namespace erel::pipeline

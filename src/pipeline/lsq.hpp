@@ -1,0 +1,71 @@
+// Load/Store Queue: 64 entries with store-to-load forwarding. Loads follow
+// the paper's conservative disambiguation rule ("loads are executed when all
+// previously store addresses are known"); a load whose bytes are partially
+// covered by older stores waits until those stores commit and reads memory.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "core/types.hpp"
+
+namespace erel::pipeline {
+
+struct LsqEntry {
+  core::InstSeq seq = core::kNoSeq;
+  bool is_store = false;
+  std::uint8_t size = 0;
+  bool addr_known = false;
+  std::uint64_t addr = 0;
+  bool data_ready = false;  // stores: value staged
+  std::uint64_t data = 0;
+  bool misaligned = false;
+};
+
+/// What a load may do right now.
+enum class LoadStatus : std::uint8_t {
+  Wait,     // an older store address is unknown, or a partial overlap exists
+  Forward,  // a single older store fully covers the load; value available
+  Memory,   // no older store overlaps: safe to access the D-cache
+};
+
+class Lsq {
+ public:
+  explicit Lsq(unsigned capacity);
+
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Allocates an entry at dispatch (program order).
+  void push(core::InstSeq seq, bool is_store, unsigned size);
+
+  /// Address (and, for stores, data) arrive at execute.
+  void set_address(core::InstSeq seq, std::uint64_t addr, bool misaligned);
+  void set_store_data(core::InstSeq seq, std::uint64_t data);
+
+  /// Disambiguation + forwarding decision for a load whose address is known.
+  /// On Forward, `*value` receives the load-sized, zero-extended bytes.
+  [[nodiscard]] LoadStatus query_load(core::InstSeq seq,
+                                      std::uint64_t* value) const;
+
+  /// Read-only entry access (the memory stage needs the resolved address).
+  [[nodiscard]] const LsqEntry& get(core::InstSeq seq) const { return find(seq); }
+
+  /// The oldest entry must belong to `seq`; removes and returns it (commit).
+  LsqEntry pop_commit(core::InstSeq seq);
+
+  /// Drops every entry younger than `boundary` (branch squash).
+  void squash_after(core::InstSeq boundary);
+
+  void clear() { entries_.clear(); }
+
+ private:
+  [[nodiscard]] const LsqEntry& find(core::InstSeq seq) const;
+  LsqEntry& find(core::InstSeq seq);
+
+  unsigned capacity_;
+  std::deque<LsqEntry> entries_;  // program order, oldest first
+};
+
+}  // namespace erel::pipeline

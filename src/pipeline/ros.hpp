@@ -1,0 +1,111 @@
+// Reorder Structure (ROS): a FIFO over all uncommitted instructions,
+// addressed by monotone sequence number (paper §2: "a ROS address can be
+// used as a unique instruction identifier"; slot == seq % capacity). The
+// simulator follows SimpleScalar's RUU organization: ROS entries double as
+// the issue window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "isa/isa.hpp"
+
+#include "branch/ras.hpp"
+
+namespace erel::pipeline {
+
+/// Execution status of one ROS entry.
+enum class EntryState : std::uint8_t {
+  Dispatched,  // renamed, waiting for operands / FU
+  Issued,      // executing (or load waiting in the memory stage)
+  Completed,   // result written back; eligible for commit
+};
+
+struct RosEntry {
+  core::InstSeq seq = core::kNoSeq;
+  // Sequence numbers are reused after squashes (the ROS slot is seq %
+  // capacity); the uid is globally unique and guards event-queue lookups
+  // against aliasing with a squashed predecessor.
+  std::uint64_t uid = 0;
+  std::uint64_t pc = 0;
+  isa::DecodedInst inst;
+  core::RenameRec rec;
+  EntryState state = EntryState::Dispatched;
+
+  // Branch bookkeeping (conditional branches and indirect jumps).
+  bool has_checkpoint = false;
+  bool predicted_taken = false;
+  std::uint64_t predicted_target = 0;
+  std::uint32_t ghr_checkpoint = 0;
+  branch::Ras::Checkpoint ras_checkpoint;
+
+  // Execution results, staged at issue and applied at writeback.
+  std::uint64_t result = 0;
+  bool has_result = false;
+  bool actual_taken = false;
+  std::uint64_t actual_target = 0;
+  std::uint64_t dispatch_cycle = 0;
+  std::uint64_t issue_cycle = 0;
+  std::uint64_t complete_cycle = 0;
+
+  // Memory bookkeeping.
+  bool in_lsq = false;
+  bool mem_issued = false;  // D-cache access already charged
+
+  // A committed fault (misaligned access / illegal opcode) aborts the run;
+  // wrong-path faults are squashed harmlessly.
+  bool fault = false;
+
+  [[nodiscard]] bool is_cond_or_indirect() const {
+    return inst.is_cond_branch() || inst.is_indirect_jump();
+  }
+};
+
+class Ros {
+ public:
+  explicit Ros(unsigned capacity);
+
+  [[nodiscard]] bool full() const { return tail_ - head_ >= capacity_; }
+  [[nodiscard]] bool empty() const { return tail_ == head_; }
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(tail_ - head_);
+  }
+  [[nodiscard]] unsigned capacity() const { return capacity_; }
+
+  [[nodiscard]] core::InstSeq head_seq() const { return head_; }
+  [[nodiscard]] core::InstSeq tail_seq() const { return tail_; }
+
+  /// Appends a new entry and returns it (seq assigned by the caller must be
+  /// the current tail sequence).
+  RosEntry& push(core::InstSeq seq);
+
+  /// Entry lookup; aborts if `seq` is not in [head, tail).
+  RosEntry& at(core::InstSeq seq);
+  const RosEntry& at(core::InstSeq seq) const;
+
+  /// True if `seq` denotes an uncommitted, unsquashed instruction.
+  [[nodiscard]] bool contains(core::InstSeq seq) const {
+    return seq >= head_ && seq < tail_;
+  }
+
+  [[nodiscard]] RosEntry& head() { return at(head_); }
+
+  /// Retires the oldest entry.
+  void pop_head();
+
+  /// Squashes every entry younger than `boundary` (exclusive); the caller
+  /// iterates first via for_squash() to release registers.
+  void truncate_after(core::InstSeq boundary);
+
+  /// Removes every entry (exception flush).
+  void clear();
+
+ private:
+  unsigned capacity_;
+  std::vector<RosEntry> slots_;
+  core::InstSeq head_ = 1;  // seq numbers start at 1 (0 = "before everything")
+  core::InstSeq tail_ = 1;
+};
+
+}  // namespace erel::pipeline

@@ -1,0 +1,23 @@
+#include "power/rixner.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace erel::power {
+
+double RixnerModel::access_time_ns(const RfGeometry& g) const {
+  EREL_CHECK(g.registers > 0 && g.ports > 0 && g.word_bits > 0);
+  const double bits = static_cast<double>(g.registers) * g.word_bits;
+  const double ports = static_cast<double>(g.ports);
+  return kDelayBase + kDelayPerPort * ports +
+         kDelayArray * std::sqrt(bits * (1.0 + kDelayPortArea * ports));
+}
+
+double RixnerModel::energy_pj(const RfGeometry& g) const {
+  EREL_CHECK(g.registers > 0 && g.ports > 0 && g.word_bits > 0);
+  const double bits = static_cast<double>(g.registers) * g.word_bits;
+  return kEnergyScale * (1.0 + kEnergyPerPort * g.ports) * bits;
+}
+
+}  // namespace erel::power

@@ -1,0 +1,33 @@
+#include "power/storage_cost.hpp"
+
+#include <bit>
+
+namespace erel::power {
+
+namespace {
+unsigned ceil_log2(unsigned value) {
+  unsigned bits = 0;
+  while ((1u << bits) < value) ++bits;
+  return bits;
+}
+}  // namespace
+
+ExtendedCost extended_mechanism_cost(const ExtendedCostParams& p) {
+  ExtendedCost cost;
+  // PRid: the p1/p2/pd identifiers kept per ROS entry (Figure 7).
+  cost.prid_bits =
+      std::uint64_t{3} * p.phys_id_bits * p.ros_size;
+  // RwC0 plus one RwC level per supported pending branch, 3 bits per entry.
+  cost.rwc_bits =
+      std::uint64_t{3} * p.ros_size * (p.max_pending_branches + 1);
+  // One decoded bit-vector over all physical registers per pending branch.
+  cost.rwns_bits =
+      std::uint64_t{p.total_phys_regs} * p.max_pending_branches;
+  // LUs Tables: ROSid + Kind (2 bits) + C (1 bit) per logical register.
+  const unsigned rosid_bits = ceil_log2(p.ros_size);
+  cost.lus_bits = std::uint64_t{p.num_classes} * p.logical_regs *
+                  (rosid_bits + 2 + 1);
+  return cost;
+}
+
+}  // namespace erel::power

@@ -1,0 +1,37 @@
+// Storage-cost calculator for the extended mechanism (§4.4): reproduces the
+// paper's Alpha 21264 example ("about 1.22 KBytes ... the int+fp LUs Tables
+// will further add around 128B").
+#pragma once
+
+#include <cstdint>
+
+namespace erel::power {
+
+struct ExtendedCostParams {
+  unsigned ros_size = 80;             // paper example: Alpha 21264
+  unsigned phys_id_bits = 8;
+  unsigned total_phys_regs = 152;     // 80 int + 72 fp
+  unsigned max_pending_branches = 20;
+  unsigned logical_regs = 32;
+  unsigned num_classes = 2;           // int + fp LUs Tables
+};
+
+struct ExtendedCost {
+  std::uint64_t prid_bits = 0;    // 3 physical ids per ROS entry
+  std::uint64_t rwc_bits = 0;     // RwC0..RwCmax: 3 bits x ROS x (B+1)
+  std::uint64_t rwns_bits = 0;    // RwNS1..RwNSmax: P bits x B
+  std::uint64_t lus_bits = 0;     // LUs Tables: ROSid + Kind(2) + C(1)
+  [[nodiscard]] std::uint64_t relque_total_bits() const {
+    return prid_bits + rwc_bits + rwns_bits;
+  }
+  [[nodiscard]] double relque_kbytes() const {
+    return static_cast<double>(relque_total_bits()) / 8.0 / 1024.0;
+  }
+  [[nodiscard]] double lus_bytes() const {
+    return static_cast<double>(lus_bits) / 8.0;
+  }
+};
+
+ExtendedCost extended_mechanism_cost(const ExtendedCostParams& params);
+
+}  // namespace erel::power

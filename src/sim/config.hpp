@@ -1,0 +1,70 @@
+// Simulation configuration. Defaults reproduce the paper's Table 2
+// processor; experiments vary `policy` and the physical register counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/release_policy.hpp"
+#include "core/rename_unit.hpp"
+#include "mem/hierarchy.hpp"
+#include "pipeline/fetch.hpp"
+#include "pipeline/fu_pool.hpp"
+
+namespace erel::sim {
+
+struct SimConfig {
+  core::PolicyKind policy = core::PolicyKind::Conventional;
+
+  /// When set, overrides `policy` with a user-supplied ReleasePolicy
+  /// implementation (see examples/custom_release_policy.cpp).
+  core::PolicyFactory policy_factory;
+
+  // Register files (paper: 40-160 int / 40-160 FP, 32+32 logical).
+  unsigned phys_int = 96;
+  unsigned phys_fp = 96;
+
+  // Pipeline widths and structures (Table 2).
+  unsigned ros_size = 128;
+  unsigned lsq_size = 64;
+  unsigned decode_width = 8;
+  unsigned issue_width = 8;
+  unsigned commit_width = 8;
+  unsigned max_pending_branches = 20;
+  unsigned ghr_bits = 18;
+  pipeline::FetchConfig fetch;
+  pipeline::FuConfig fus;
+  mem::HierarchyConfig memory;
+
+  // Run control.
+  std::uint64_t max_cycles = 2'000'000'000;
+  std::uint64_t max_instructions = 0;  // 0 = run to completion (HALT)
+
+  // Verification.
+  bool check_oracle = true;  // lock-step functional co-simulation at commit
+
+  /// Per-committed-instruction pipeline trace ("pipeview"). When set, the
+  /// core invokes it at every commit with the instruction's stage timing.
+  struct TraceEvent {
+    std::uint64_t seq = 0;
+    std::uint64_t pc = 0;
+    std::uint32_t encoding = 0;
+    std::uint64_t dispatch_cycle = 0;
+    std::uint64_t issue_cycle = 0;
+    std::uint64_t complete_cycle = 0;
+    std::uint64_t commit_cycle = 0;
+  };
+  std::function<void(const TraceEvent&)> trace;
+
+  // Exception-injection fuzzing (§4.3 recovery): flush the pipeline and
+  // re-execute from the head instruction every `flush_period` commits.
+  std::uint64_t flush_period = 0;  // 0 = off
+
+  /// Loose/tight classification (paper §2): loose iff P >= L + N.
+  [[nodiscard]] bool is_loose(unsigned phys) const {
+    return phys >= isa::kNumLogicalRegs + ros_size;
+  }
+};
+
+}  // namespace erel::sim

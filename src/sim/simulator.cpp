@@ -1,0 +1,88 @@
+#include "sim/simulator.hpp"
+
+#include <sstream>
+
+namespace erel::sim {
+
+std::string format_stats(const SimStats& stats) {
+  std::ostringstream os;
+  os << "cycles               " << stats.cycles << "\n";
+  os << "instructions         " << stats.committed
+     << (stats.halted ? " (halted)" : " (limit reached)") << "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4f", stats.ipc());
+  os << "IPC                  " << buf << "\n";
+  std::snprintf(buf, sizeof buf, "%.2f%%",
+                100.0 * stats.branches.cond_accuracy());
+  os << "cond branches        " << stats.branches.cond_branches
+     << " (accuracy " << buf << ")\n";
+  os << "indirect jumps       " << stats.branches.indirect_jumps << " ("
+     << stats.branches.indirect_mispredicts << " mispredicted)\n";
+  os << "dispatch stalls      ros_full=" << stats.stalls.ros_full
+     << " lsq_full=" << stats.stalls.lsq_full
+     << " checkpoints=" << stats.stalls.checkpoints_full
+     << " free_list=" << stats.stalls.free_list_empty << "\n";
+  os << "icache stall cycles  " << stats.icache_stall_cycles << "\n";
+  std::snprintf(buf, sizeof buf, "%.3f%% / %.3f%% / %.3f%%",
+                100.0 * stats.l1i.miss_rate(), 100.0 * stats.l1d.miss_rate(),
+                100.0 * stats.l2.miss_rate());
+  os << "miss rates L1I/L1D/L2  " << buf << "\n";
+  if (stats.flushes_injected != 0)
+    os << "injected flushes     " << stats.flushes_injected << "\n";
+  for (int cls = 0; cls < 2; ++cls) {
+    const auto& ps = stats.policy_stats[cls];
+    const auto& occ = stats.occupancy[cls];
+    os << (cls == 0 ? "int" : "fp ") << " releases         conv="
+       << ps.conventional_releases << " early@LU=" << ps.early_commit_releases
+       << " immediate=" << ps.immediate_releases << " reuse=" << ps.reuses
+       << " branch-confirm=" << ps.branch_confirm_releases
+       << " fallback=" << ps.fallback_conventional
+       << " stale-suppressed=" << ps.stale_suppressed << "\n";
+    std::snprintf(buf, sizeof buf, "empty=%.1f ready=%.1f idle=%.1f",
+                  occ.avg_empty, occ.avg_ready, occ.avg_idle);
+    os << (cls == 0 ? "int" : "fp ") << " occupancy        " << buf << "\n";
+  }
+  return os.str();
+}
+
+std::string describe_config(const SimConfig& config) {
+  std::ostringstream os;
+  os << "Fetch width          " << config.fetch.width
+     << " instructions (up to " << config.fetch.max_blocks_per_cycle
+     << " taken branches)\n";
+  os << "L1 I-cache           " << config.memory.l1i.size_bytes / 1024
+     << " KB, " << config.memory.l1i.associativity << "-way, "
+     << config.memory.l1i.line_bytes << " B lines, "
+     << config.memory.l1i.hit_latency << "-cycle hit\n";
+  os << "Branch prediction    " << config.ghr_bits
+     << "-bit gshare, speculative updates, up to "
+     << config.max_pending_branches << " pending branches\n";
+  os << "ROS size             " << config.ros_size << " entries\n";
+  os << "Functional units     " << config.fus.int_alu << " simple int (1); "
+     << config.fus.int_mul << " int mult (7); " << config.fus.fp_alu
+     << " simple FP (4); " << config.fus.fp_mul << " FP mult (4); "
+     << config.fus.fp_div << " FP div (16); " << config.fus.ld_st
+     << " load/store\n";
+  os << "Load/Store queue     " << config.lsq_size
+     << " entries with store-load forwarding\n";
+  os << "Issue mechanism      out-of-order issue, width " << config.issue_width
+     << "; loads execute when all prior store addresses are known\n";
+  os << "Physical registers   " << config.phys_int << " int / "
+     << config.phys_fp << " FP (" << isa::kNumLogicalRegs << " int / "
+     << isa::kNumLogicalRegs << " FP logical)\n";
+  os << "L1 D-cache           " << config.memory.l1d.size_bytes / 1024
+     << " KB, " << config.memory.l1d.associativity << "-way, "
+     << config.memory.l1d.line_bytes << " B lines, "
+     << config.memory.l1d.hit_latency << "-cycle hit\n";
+  os << "L2 unified cache     " << config.memory.l2.size_bytes / 1024
+     << " KB, " << config.memory.l2.associativity << "-way, "
+     << config.memory.l2.line_bytes << " B lines, "
+     << config.memory.l2.hit_latency << "-cycle hit\n";
+  os << "Main memory          unbounded size, " << config.memory.memory_latency
+     << "-cycle access\n";
+  os << "Commit width         " << config.commit_width << " instructions\n";
+  os << "Release policy       " << core::policy_name(config.policy) << "\n";
+  return os.str();
+}
+
+}  // namespace erel::sim

@@ -1,0 +1,56 @@
+// Aggregated simulation results.
+#pragma once
+
+#include <cstdint>
+
+#include "core/release_policy.hpp"
+#include "core/reg_state.hpp"
+#include "mem/cache.hpp"
+
+namespace erel::sim {
+
+struct BranchStats {
+  std::uint64_t cond_branches = 0;
+  std::uint64_t cond_mispredicts = 0;
+  std::uint64_t indirect_jumps = 0;
+  std::uint64_t indirect_mispredicts = 0;
+
+  [[nodiscard]] double cond_accuracy() const {
+    return cond_branches == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(cond_mispredicts) / cond_branches;
+  }
+};
+
+struct DispatchStalls {
+  std::uint64_t ros_full = 0;
+  std::uint64_t lsq_full = 0;
+  std::uint64_t checkpoints_full = 0;
+  std::uint64_t free_list_empty = 0;  // the stall early release attacks
+};
+
+struct SimStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t committed = 0;
+  bool halted = false;
+
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(committed) / cycles;
+  }
+
+  BranchStats branches;
+  DispatchStalls stalls;
+  std::uint64_t flushes_injected = 0;
+  std::uint64_t icache_stall_cycles = 0;
+
+  // Per register class (0 = int, 1 = fp).
+  core::PolicyStats policy_stats[2];
+  core::Occupancy occupancy[2];
+  std::uint64_t squash_released[2] = {0, 0};
+
+  mem::CacheStats l1i;
+  mem::CacheStats l1d;
+  mem::CacheStats l2;
+};
+
+}  // namespace erel::sim

@@ -1,0 +1,67 @@
+#include "workloads/workloads.hpp"
+
+#include "asmkit/assembler.hpp"
+#include "common/log.hpp"
+
+namespace erel::workloads {
+
+namespace {
+
+std::vector<Workload> build_registry() {
+  std::vector<Workload> w;
+  // Default scales target a few hundred thousand dynamic instructions per
+  // kernel: roughly 300-1000x smaller than the paper's Table 3 runs, which
+  // keeps the full Figure 11 sweep (390 simulations) tractable while staying
+  // far above the pipeline's warm-up transient.
+  w.push_back({"compress", "LZW over a run-biased 16 KB stream",
+               "16384 bytes, 64-symbol alphabet", false,
+               kernel_compress(16384)});
+  w.push_back({"gcc", "token dispatch via jump table + symbol hashing",
+               "20000 tokens, 8 handlers", false, kernel_gcc(20000)});
+  w.push_back({"go", "19x19 board influence sweeps",
+               "120 sweeps with toy captures", false, kernel_go(120)});
+  w.push_back({"li", "recursive N-queens backtracking (paper input: queens)",
+               "8 queens (92 solutions)", false, kernel_li(8)});
+  w.push_back({"perl", "word scoring + prefix hashing",
+               "512 words x 40 passes", false, kernel_perl(40)});
+  w.push_back({"mgrid", "3-D 7-point stencil relaxation",
+               "18^3 grid, 4 sweeps", true, kernel_mgrid(18, 4)});
+  w.push_back({"tomcatv", "2-D mesh smoothing, dual coordinate arrays",
+               "48x48 mesh, 6 iterations", true, kernel_tomcatv(48, 6)});
+  w.push_back({"applu", "batched dense 5x5 LU + triangular solves",
+               "1200 systems", true, kernel_applu(1200)});
+  w.push_back({"swim", "shallow-water finite differences",
+               "80x80 fields, 3 steps", true, kernel_swim(80, 3)});
+  w.push_back({"hydro2d", "limiter-based directional flux sweeps",
+               "64x64 fields, 5 steps", true, kernel_hydro2d(64, 5)});
+  return w;
+}
+
+}  // namespace
+
+const std::vector<Workload>& registry() {
+  static const std::vector<Workload> workloads = build_registry();
+  return workloads;
+}
+
+const Workload& workload(const std::string& name) {
+  for (const Workload& w : registry()) {
+    if (w.name == name) return w;
+  }
+  EREL_FATAL("unknown workload '", name, "'");
+}
+
+arch::Program assemble_workload(const std::string& name) {
+  return asmkit::assemble(workload(name).source);
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> n;
+    for (const Workload& w : registry()) n.push_back(w.name);
+    return n;
+  }();
+  return names;
+}
+
+}  // namespace erel::workloads

@@ -1,0 +1,207 @@
+// Functional (oracle) simulator semantics: control flow, memory access
+// widths, call/return, and step records.
+#include <gtest/gtest.h>
+
+#include "arch/arch_state.hpp"
+#include "asmkit/assembler.hpp"
+#include "common/bits.hpp"
+
+namespace erel::arch {
+namespace {
+
+ArchState run_program(const char* src) {
+  ArchState state(asmkit::assemble(src));
+  state.run(1'000'000);
+  EXPECT_TRUE(state.halted());
+  return state;
+}
+
+TEST(ArchState, StraightLineArithmetic) {
+  ArchState s = run_program(R"(
+main:
+  li   r3, 10
+  li   r4, 3
+  add  r5, r3, r4
+  sub  r6, r3, r4
+  mul  r7, r3, r4
+  div  r8, r3, r4
+  rem  r9, r3, r4
+  halt
+)");
+  EXPECT_EQ(s.int_reg(5), 13u);
+  EXPECT_EQ(s.int_reg(6), 7u);
+  EXPECT_EQ(s.int_reg(7), 30u);
+  EXPECT_EQ(s.int_reg(8), 3u);
+  EXPECT_EQ(s.int_reg(9), 1u);
+}
+
+TEST(ArchState, R0IsAlwaysZero) {
+  ArchState s = run_program(R"(
+main:
+  addi r0, r0, 5
+  add  r3, r0, r0
+  halt
+)");
+  EXPECT_EQ(s.int_reg(0), 0u);
+  EXPECT_EQ(s.int_reg(3), 0u);
+}
+
+TEST(ArchState, LoadStoreWidths) {
+  ArchState s = run_program(R"(
+main:
+  la   r3, buf
+  li   r4, 0x1234
+  sd   r4, 0(r3)
+  li   r5, -1
+  sb   r5, 8(r3)
+  sw   r4, 12(r3)
+  ld   r6, 0(r3)
+  lbu  r7, 8(r3)
+  lw   r8, 12(r3)
+  halt
+.data
+buf: .space 24
+)");
+  EXPECT_EQ(s.int_reg(6), 0x1234u);
+  EXPECT_EQ(s.int_reg(7), 0xFFu);       // byte load zero-extends
+  EXPECT_EQ(s.int_reg(8), 0x1234u);
+}
+
+TEST(ArchState, LwSignExtends) {
+  ArchState s = run_program(R"(
+main:
+  la  r3, buf
+  li  r4, -2
+  sw  r4, 0(r3)
+  lw  r5, 0(r3)
+  halt
+.data
+buf: .space 8
+)");
+  EXPECT_EQ(s.int_reg(5), static_cast<std::uint64_t>(-2));
+}
+
+TEST(ArchState, FpLoadStoreRoundTrip) {
+  ArchState s = run_program(R"(
+main:
+  la   r3, buf
+  fld  f1, 0(r3)
+  fadd f2, f1, f1
+  fsd  f2, 8(r3)
+  fld  f3, 8(r3)
+  halt
+.data
+buf: .double 2.5, 0.0
+)");
+  EXPECT_EQ(u2f(s.fp_reg(3)), 5.0);
+  EXPECT_EQ(u2f(s.memory().read_u64(kDefaultDataBase + 8)), 5.0);
+}
+
+TEST(ArchState, LoopExecutesExactCount) {
+  ArchState s = run_program(R"(
+main:
+  li r3, 0
+  li r4, 37
+loop:
+  addi r3, r3, 1
+  blt  r3, r4, loop
+  halt
+)");
+  EXPECT_EQ(s.int_reg(3), 37u);
+}
+
+TEST(ArchState, CallAndReturn) {
+  ArchState s = run_program(R"(
+main:
+  li   r2, 0x200000
+  li   r3, 5
+  call double_it
+  mv   r5, r3
+  halt
+double_it:
+  add  r3, r3, r3
+  ret
+)");
+  EXPECT_EQ(s.int_reg(5), 10u);
+}
+
+TEST(ArchState, IndirectJumpThroughTable) {
+  ArchState s = run_program(R"(
+main:
+  la   r3, table
+  ld   r4, 0(r3)
+  jalr r1, r4, 0
+  halt
+target:
+  li   r5, 99
+  ret
+setup:
+  halt
+.data
+table: .dword target
+)");
+  EXPECT_EQ(s.int_reg(5), 99u);
+}
+
+TEST(ArchState, StepRecordsDestAndMemory) {
+  ArchState s(asmkit::assemble(R"(
+main:
+  li r3, 7
+  la r4, buf
+  sd r3, 0(r4)
+  ld r5, 0(r4)
+  halt
+.data
+buf: .space 8
+)"));
+  StepInfo i1 = s.step();  // li (addi)
+  EXPECT_TRUE(i1.has_dst);
+  EXPECT_EQ(i1.dst_value, 7u);
+  s.step();  // la part 1 (lui)
+  s.step();  // la part 2 (ori)
+  StepInfo st = s.step();  // sd
+  EXPECT_TRUE(st.is_store);
+  EXPECT_EQ(st.mem_addr, kDefaultDataBase);
+  EXPECT_EQ(st.store_value, 7u);
+  StepInfo ld = s.step();  // ld
+  EXPECT_TRUE(ld.is_load);
+  EXPECT_EQ(ld.dst_value, 7u);
+  StepInfo halt = s.step();
+  EXPECT_TRUE(halt.halted);
+  EXPECT_TRUE(s.halted());
+  // Further steps keep reporting halted without advancing.
+  EXPECT_TRUE(s.step().halted);
+}
+
+TEST(ArchState, IllegalInstructionHaltsWithFlag) {
+  // Jump into zero-filled memory: decodes as ILLEGAL.
+  ArchState s(asmkit::assemble(R"(
+main:
+  li   r4, 0x50000
+  jalr r0, r4, 0
+)"));
+  StepInfo info;
+  for (int i = 0; i < 10 && !s.halted(); ++i) info = s.step();
+  EXPECT_TRUE(s.halted());
+  EXPECT_TRUE(info.illegal);
+}
+
+TEST(ArchState, UntouchedMemoryReadsZero) {
+  ArchState s = run_program(R"(
+main:
+  li r3, 0x300000
+  ld r4, 0(r3)
+  halt
+)");
+  EXPECT_EQ(s.int_reg(4), 0u);
+}
+
+TEST(ArchState, InstructionCountMatches) {
+  ArchState s(asmkit::assemble("main:\n  nop\n  nop\n  nop\n  halt\n"));
+  s.run();
+  // 3 nops + the halt step.
+  EXPECT_EQ(s.instructions_executed(), 4u);
+}
+
+}  // namespace
+}  // namespace erel::arch

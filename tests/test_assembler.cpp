@@ -1,0 +1,262 @@
+// Assembler: syntax, label resolution, pseudo-instruction expansion, data
+// directives and error reporting.
+#include <gtest/gtest.h>
+
+#include "arch/arch_state.hpp"
+#include "asmkit/assembler.hpp"
+#include "common/bits.hpp"
+#include "isa/isa.hpp"
+
+namespace erel::asmkit {
+namespace {
+
+using arch::Program;
+using isa::DecodedInst;
+using isa::Opcode;
+
+DecodedInst inst_at(const Program& p, std::size_t index) {
+  return isa::decode(p.code.at(index));
+}
+
+TEST(Assembler, BasicInstructionForms) {
+  const Program p = assemble(R"(
+main:
+  add  r3, r4, r5
+  addi r6, r7, -42
+  lui  r8, 100
+  ld   r9, 16(r10)
+  sd   r11, -8(r12)
+  fadd f1, f2, f3
+  fabs f4, f5
+  feq  r13, f6, f7
+  halt
+)");
+  EXPECT_EQ(p.code.size(), 9u);
+  DecodedInst i0 = inst_at(p, 0);
+  EXPECT_EQ(i0.op, Opcode::ADD);
+  EXPECT_EQ(i0.rd, 3);
+  EXPECT_EQ(i0.rs1, 4);
+  EXPECT_EQ(i0.rs2, 5);
+  DecodedInst i1 = inst_at(p, 1);
+  EXPECT_EQ(i1.op, Opcode::ADDI);
+  EXPECT_EQ(i1.imm, -42);
+  DecodedInst i3 = inst_at(p, 3);
+  EXPECT_EQ(i3.op, Opcode::LD);
+  EXPECT_EQ(i3.rd, 9);
+  EXPECT_EQ(i3.rs1, 10);
+  EXPECT_EQ(i3.imm, 16);
+  DecodedInst i4 = inst_at(p, 4);
+  EXPECT_EQ(i4.op, Opcode::SD);
+  EXPECT_EQ(i4.rs1, 12);
+  EXPECT_EQ(i4.rs2, 11);
+  EXPECT_EQ(i4.imm, -8);
+  DecodedInst i7 = inst_at(p, 7);
+  EXPECT_EQ(i7.op, Opcode::FEQ);
+  EXPECT_EQ(i7.rd, 13);
+}
+
+TEST(Assembler, BranchOffsetsResolveForwardAndBackward) {
+  const Program p = assemble(R"(
+top:
+  addi r3, r3, 1
+  beq  r3, r4, done
+  b    top
+done:
+  halt
+)");
+  const DecodedInst beq = inst_at(p, 1);
+  EXPECT_EQ(beq.op, Opcode::BEQ);
+  EXPECT_EQ(beq.imm, 2);  // two instructions forward
+  const DecodedInst jump = inst_at(p, 2);
+  EXPECT_EQ(jump.op, Opcode::JAL);
+  EXPECT_EQ(jump.rd, 0);
+  EXPECT_EQ(jump.imm, -2);
+}
+
+TEST(Assembler, PseudoExpansions) {
+  const Program p = assemble(R"(
+  nop
+  mv   r3, r4
+  not  r5, r6
+  neg  r7, r8
+  ret
+  call helper
+helper:
+  beqz r9, helper
+  bnez r10, helper
+  bgt  r3, r4, helper
+  halt
+)");
+  EXPECT_EQ(inst_at(p, 0).op, Opcode::ADDI);   // nop
+  EXPECT_EQ(inst_at(p, 1).op, Opcode::ADDI);   // mv
+  EXPECT_EQ(inst_at(p, 2).op, Opcode::XORI);   // not
+  EXPECT_EQ(inst_at(p, 2).imm, -1);
+  EXPECT_EQ(inst_at(p, 3).op, Opcode::SUB);    // neg: sub rd, r0, rs
+  EXPECT_EQ(inst_at(p, 3).rs1, 0);
+  const DecodedInst ret = inst_at(p, 4);
+  EXPECT_EQ(ret.op, Opcode::JALR);
+  EXPECT_EQ(ret.rd, 0);
+  EXPECT_EQ(ret.rs1, 1);
+  const DecodedInst call = inst_at(p, 5);
+  EXPECT_EQ(call.op, Opcode::JAL);
+  EXPECT_EQ(call.rd, 1);
+  const DecodedInst bgt = inst_at(p, 8);
+  EXPECT_EQ(bgt.op, Opcode::BLT);  // operands swapped
+  EXPECT_EQ(bgt.rs1, 4);
+  EXPECT_EQ(bgt.rs2, 3);
+}
+
+TEST(Assembler, LiExpansionSizes) {
+  // Small, 32-bit, and full 64-bit constants; each must load exactly.
+  const std::int64_t values[] = {0,           42,         -42,
+                                 8191,        -8192,      8192,
+                                 0x12345678,  -0x1234567, INT64_C(0x123456789abcdef0),
+                                 -1,          INT64_C(-0x7edcba9876543210)};
+  for (const std::int64_t v : values) {
+    const Program p =
+        assemble("main:\n  li r3, " + std::to_string(v) + "\n  halt\n");
+    arch::ArchState state(p);
+    state.run();
+    EXPECT_EQ(state.int_reg(3), static_cast<std::uint64_t>(v)) << v;
+  }
+}
+
+TEST(Assembler, LaLoadsDataAddresses) {
+  const Program p = assemble(R"(
+main:
+  la r3, buf
+  la r4, second
+  halt
+.data
+buf:    .space 24
+second: .word 7
+)");
+  arch::ArchState state(p);
+  state.run();
+  EXPECT_EQ(state.int_reg(3), arch::kDefaultDataBase);
+  EXPECT_EQ(state.int_reg(4), arch::kDefaultDataBase + 24);
+}
+
+TEST(Assembler, DataDirectives) {
+  const Program p = assemble(R"(
+main:
+  halt
+.data
+w:   .word 1, 2, 3
+d:   .dword 0x123456789abcdef0
+f:   .double 1.5, -2.25
+sp:  .space 5
+al:  .align 8
+fill:.fill 4, 0xab
+     .align 8
+ptr: .dword w
+)");
+  arch::ArchState state(p);
+  const auto& mem = state.memory();
+  const std::uint64_t base = arch::kDefaultDataBase;
+  EXPECT_EQ(mem.read_u32(base), 1u);
+  EXPECT_EQ(mem.read_u32(base + 4), 2u);
+  EXPECT_EQ(mem.read_u32(base + 8), 3u);
+  // The .dword at base+12 is intentionally unaligned in the image; compose
+  // it from byte reads (the aligned accessors enforce natural alignment).
+  std::uint64_t dword = 0;
+  for (unsigned i = 0; i < 8; ++i)
+    dword |= static_cast<std::uint64_t>(mem.read_u8(base + 12 + i)) << (8 * i);
+  EXPECT_EQ(dword, 0x123456789abcdef0ull);
+  auto read_unaligned_u64 = [&mem](std::uint64_t addr) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(mem.read_u8(addr + i)) << (8 * i);
+    return v;
+  };
+  EXPECT_EQ(u2f(read_unaligned_u64(base + 20)), 1.5);
+  EXPECT_EQ(u2f(read_unaligned_u64(base + 28)), -2.25);
+  // .space 5 then .align 8: fill starts at the next 8-byte boundary.
+  EXPECT_EQ(p.symbols.at("fill") % 8, 0u);
+  EXPECT_EQ(mem.read_u8(p.symbols.at("fill")), 0xabu);
+  EXPECT_EQ(mem.read_u64(p.symbols.at("ptr")), p.symbols.at("w"));
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(R"(
+# full-line comment
+main:   ; another comment style
+  addi r3, r3, 1   // trailing comment
+
+  halt
+)");
+  EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, EntryPointDefaultsAndMain) {
+  const Program with_main = assemble("  nop\nmain:\n  halt\n");
+  EXPECT_EQ(with_main.entry, with_main.code_base + 4);
+  const Program no_main = assemble("start_here:\n  halt\n");
+  EXPECT_EQ(no_main.entry, no_main.code_base);
+}
+
+TEST(Assembler, RegisterAliases) {
+  const Program p = assemble("main:\n  add r3, zero, ra\n  mv sp, r3\n  halt\n");
+  EXPECT_EQ(inst_at(p, 0).rs1, 0);
+  EXPECT_EQ(inst_at(p, 0).rs2, 1);
+  EXPECT_EQ(inst_at(p, 1).rd, 2);
+}
+
+// ---- error paths: the assembler must report, not crash ----
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  EXPECT_THROW(assemble("  frobnicate r1, r2\n"), AsmError);
+}
+
+TEST(AssemblerErrors, UndefinedLabel) {
+  EXPECT_THROW(assemble("  beq r1, r2, nowhere\n  halt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_THROW(assemble("a:\n  nop\na:\n  halt\n"), AsmError);
+}
+
+TEST(AssemblerErrors, ImmediateOutOfRange) {
+  EXPECT_THROW(assemble("  addi r1, r2, 9000\n"), AsmError);
+  EXPECT_THROW(assemble("  addi r1, r2, -9000\n"), AsmError);
+}
+
+TEST(AssemblerErrors, WrongRegisterClass) {
+  EXPECT_THROW(assemble("  add r1, f2, r3\n"), AsmError);
+  EXPECT_THROW(assemble("  fadd f1, r2, f3\n"), AsmError);
+}
+
+TEST(AssemblerErrors, BadRegisterNumber) {
+  EXPECT_THROW(assemble("  add r1, r2, r32\n"), AsmError);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_THROW(assemble("  add r1, r2\n"), AsmError);
+  EXPECT_THROW(assemble("  halt r1\n"), AsmError);
+}
+
+TEST(AssemblerErrors, InstructionInDataSection) {
+  EXPECT_THROW(assemble(".data\n  add r1, r2, r3\n"), AsmError);
+}
+
+TEST(AssemblerErrors, DataDirectiveInText) {
+  EXPECT_THROW(assemble("  .word 5\n"), AsmError);
+}
+
+TEST(AssemblerErrors, BadMemOperand) {
+  EXPECT_THROW(assemble("  ld r1, r2\n"), AsmError);
+}
+
+TEST(AssemblerErrors, ReportsMultipleErrorsWithLineNumbers) {
+  try {
+    assemble("  bogus1 r1\n  nop\n  bogus2 r2\n");
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace erel::asmkit

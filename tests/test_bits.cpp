@@ -1,0 +1,91 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace erel {
+namespace {
+
+TEST(Bits, ExtractInsertRoundTrip) {
+  std::uint32_t word = 0;
+  word = put_bits(word, 24, 8, 0xAB);
+  word = put_bits(word, 19, 5, 0x15);
+  word = put_bits(word, 0, 9, 0x1FF);
+  EXPECT_EQ(bits(word, 24, 8), 0xABu);
+  EXPECT_EQ(bits(word, 19, 5), 0x15u);
+  EXPECT_EQ(bits(word, 0, 9), 0x1FFu);
+}
+
+TEST(Bits, PutBitsOverwritesField) {
+  std::uint32_t word = ~0u;
+  word = put_bits(word, 8, 4, 0x0);
+  EXPECT_EQ(bits(word, 8, 4), 0u);
+  EXPECT_EQ(bits(word, 0, 8), 0xFFu);
+  EXPECT_EQ(bits(word, 12, 20), 0xFFFFFu);
+}
+
+TEST(Bits, SignExtension) {
+  EXPECT_EQ(sext(0x3FFF, 14), -1);
+  EXPECT_EQ(sext(0x1FFF, 14), 8191);
+  EXPECT_EQ(sext(0x2000, 14), -8192);
+  EXPECT_EQ(sext(0, 14), 0);
+  EXPECT_EQ(sext(0x80000000u, 32), INT64_C(-2147483648));
+}
+
+TEST(Bits, FitsSigned) {
+  EXPECT_TRUE(fits_signed(8191, 14));
+  EXPECT_FALSE(fits_signed(8192, 14));
+  EXPECT_TRUE(fits_signed(-8192, 14));
+  EXPECT_FALSE(fits_signed(-8193, 14));
+  EXPECT_TRUE(fits_signed(0, 1));
+  EXPECT_TRUE(fits_signed(-1, 1));
+  EXPECT_FALSE(fits_signed(1, 1));
+}
+
+TEST(Bits, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(4096));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(96));
+  EXPECT_EQ(log2_exact(4096), 12u);
+}
+
+TEST(Bits, FpBitCastRoundTrip) {
+  for (const double d : {0.0, 1.5, -3.25, 1e300, -1e-300}) {
+    EXPECT_EQ(u2f(f2u(d)), d);
+  }
+}
+
+TEST(Xorshift, DeterministicAcrossInstances) {
+  Xorshift a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xorshift, DifferentSeedsDiverge) {
+  Xorshift a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.next() != b.next()) ++differing;
+  }
+  EXPECT_GT(differing, 5);
+}
+
+TEST(Xorshift, RangeBounds) {
+  Xorshift rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Xorshift, Uniform01InRange) {
+  Xorshift rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace erel

@@ -1,0 +1,143 @@
+// Branch prediction: gshare training and history repair, BTB replacement,
+// RAS checkpointing.
+#include <gtest/gtest.h>
+
+#include "branch/btb.hpp"
+#include "branch/gshare.hpp"
+#include "branch/ras.hpp"
+
+namespace erel::branch {
+namespace {
+
+TEST(Gshare, LearnsAlwaysTaken) {
+  Gshare g(8);
+  const std::uint64_t pc = 0x10000;
+  std::uint32_t cp = 0;
+  // Train: resolve taken repeatedly, repairing history on mispredicts the
+  // way the pipeline does (speculative updates are otherwise corrupted).
+  for (int i = 0; i < 64; ++i) {
+    const bool pred = g.predict(pc, &cp);
+    const bool miss = pred != true;
+    g.resolve(pc, cp, /*taken=*/true, miss);
+    if (miss) g.repair(cp, true);
+  }
+  EXPECT_TRUE(g.predict(pc, &cp));
+  EXPECT_GT(g.stats().accuracy(), 0.8);
+}
+
+TEST(Gshare, LearnsAlternatingPatternThroughHistory) {
+  Gshare g(8);
+  const std::uint64_t pc = 0x20000;
+  std::uint32_t cp = 0;
+  int mispredicts_late = 0;
+  for (int i = 0; i < 400; ++i) {
+    const bool actual = (i % 2) == 0;
+    const bool pred = g.predict(pc, &cp);
+    const bool miss = pred != actual;
+    g.resolve(pc, cp, actual, miss);
+    if (miss) g.repair(cp, actual);
+    if (miss && i >= 300) ++mispredicts_late;
+  }
+  // With history the alternating pattern becomes fully predictable.
+  EXPECT_EQ(mispredicts_late, 0);
+}
+
+TEST(Gshare, SpeculativeHistoryShiftsOnPredict) {
+  Gshare g(8);
+  std::uint32_t cp = 0;
+  const std::uint32_t before = g.history();
+  const bool pred = g.predict(0x30000, &cp);
+  EXPECT_EQ(cp, before);
+  EXPECT_EQ(g.history() & 1u, pred ? 1u : 0u);
+}
+
+TEST(Gshare, RepairRestoresCheckpointPlusOutcome) {
+  Gshare g(8);
+  std::uint32_t cp = 0;
+  g.predict(0x40000, &cp);
+  for (int i = 0; i < 5; ++i) {
+    std::uint32_t junk;
+    g.predict(0x40100 + 4 * i, &junk);  // wrong-path history pollution
+  }
+  g.repair(cp, /*actual_taken=*/true);
+  EXPECT_EQ(g.history(), ((cp << 1) | 1u) & 0xFFu);
+  g.restore_history(cp);
+  EXPECT_EQ(g.history(), cp & 0xFFu);
+}
+
+TEST(Gshare, CountersTrainAtCheckpointIndex) {
+  Gshare g(8);
+  std::uint32_t cp = 0;
+  const std::uint64_t pc = 0x5000;
+  const bool pred = g.predict(pc, &cp);
+  const std::uint8_t before = g.counter_at(pc, cp);
+  g.resolve(pc, cp, /*taken=*/true, pred != true);
+  EXPECT_EQ(g.counter_at(pc, cp), before < 3 ? before + 1 : 3);
+}
+
+TEST(Btb, RemembersLastTarget) {
+  Btb btb(64, 4);
+  EXPECT_FALSE(btb.lookup(0x1000).has_value());
+  btb.update(0x1000, 0x2000);
+  EXPECT_EQ(btb.lookup(0x1000).value(), 0x2000u);
+  btb.update(0x1000, 0x3000);
+  EXPECT_EQ(btb.lookup(0x1000).value(), 0x3000u);
+}
+
+TEST(Btb, SetConflictEvictsLru) {
+  Btb btb(8, 2);  // 4 sets x 2 ways; same set stride = 16 bytes of pc
+  btb.update(0x1000, 0xA);
+  btb.update(0x1010, 0xB);
+  (void)btb.lookup(0x1000);    // refresh A (no LRU update: const)
+  btb.update(0x1020, 0xC);     // evicts B? lookup() is const -> LRU moves
+  // Lookups don't update LRU in this model; B was older than A anyway.
+  EXPECT_TRUE(btb.lookup(0x1020).has_value());
+  EXPECT_EQ(btb.lookup(0x1000).has_value() +
+                btb.lookup(0x1010).has_value() +
+                btb.lookup(0x1020).has_value(),
+            2);
+}
+
+TEST(Ras, CallReturnNesting) {
+  Ras ras(8);
+  ras.push(0x100);
+  ras.push(0x200);
+  ras.push(0x300);
+  EXPECT_EQ(ras.pop(), 0x300u);
+  EXPECT_EQ(ras.pop(), 0x200u);
+  ras.push(0x400);
+  EXPECT_EQ(ras.pop(), 0x400u);
+  EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, UnderflowReturnsZero) {
+  Ras ras(4);
+  EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest) {
+  Ras ras(2);
+  ras.push(0x1);
+  ras.push(0x2);
+  ras.push(0x3);  // overwrites 0x1 (circular)
+  EXPECT_EQ(ras.pop(), 0x3u);
+  EXPECT_EQ(ras.pop(), 0x2u);
+  // The deepest entry was overwritten: the circular stack returns the
+  // clobbering value — a wrong-but-harmless prediction, as in hardware.
+  EXPECT_EQ(ras.pop(), 0x3u);
+}
+
+TEST(Ras, CheckpointRepairsTopEntry) {
+  Ras ras(8);
+  ras.push(0x100);
+  const Ras::Checkpoint cp = ras.checkpoint();
+  // Wrong path: pop then push garbage.
+  EXPECT_EQ(ras.pop(), 0x100u);
+  ras.push(0xBAD);
+  ras.push(0xBAD2);
+  ras.restore(cp);
+  EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+}  // namespace
+}  // namespace erel::branch

@@ -1,0 +1,121 @@
+// Cache model: hit/miss behaviour, LRU replacement, write-back accounting,
+// and the three-level hierarchy's latency composition.
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+#include "mem/hierarchy.hpp"
+
+namespace erel::mem {
+namespace {
+
+CacheConfig tiny_cache(unsigned ways) {
+  // 4 sets x ways x 64B lines.
+  return {"tiny", 4u * ways * 64u, ways, 64, 1};
+}
+
+TEST(Cache, FirstAccessMissesThenHits) {
+  Cache c(tiny_cache(2));
+  EXPECT_FALSE(c.access(0x1000, false));
+  EXPECT_TRUE(c.access(0x1000, false));
+  EXPECT_TRUE(c.access(0x103F, false));  // same line
+  EXPECT_FALSE(c.access(0x1040, false)); // next line
+  EXPECT_EQ(c.stats().accesses, 4u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache c(tiny_cache(2));
+  // Three lines mapping to the same set (stride = sets * line = 256).
+  c.access(0x0000, false);
+  c.access(0x0100, false);
+  c.access(0x0000, false);   // touch line A: B becomes LRU
+  c.access(0x0200, false);   // evicts B
+  EXPECT_TRUE(c.contains(0x0000));
+  EXPECT_FALSE(c.contains(0x0100));
+  EXPECT_TRUE(c.contains(0x0200));
+}
+
+TEST(Cache, WritebackCountedOnlyForDirtyVictims) {
+  Cache c(tiny_cache(1));  // direct-mapped: every conflict evicts
+  c.access(0x0000, true);   // dirty
+  c.access(0x0100, false);  // evicts dirty -> writeback
+  EXPECT_EQ(c.stats().writebacks, 1u);
+  c.access(0x0200, false);  // evicts clean -> no writeback
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteHitMarksLineDirty) {
+  Cache c(tiny_cache(1));
+  c.access(0x0000, false);  // clean fill
+  c.access(0x0000, true);   // dirty it
+  c.access(0x0100, false);  // evict -> writeback
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, DistinctSetsDoNotConflict) {
+  Cache c(tiny_cache(1));
+  c.access(0x0000, false);
+  c.access(0x0040, false);
+  c.access(0x0080, false);
+  c.access(0x00C0, false);
+  EXPECT_TRUE(c.contains(0x0000));
+  EXPECT_TRUE(c.contains(0x00C0));
+}
+
+TEST(Cache, PaperGeometriesConstruct) {
+  const HierarchyConfig cfg;
+  Cache l1i(cfg.l1i), l1d(cfg.l1d), l2(cfg.l2);
+  EXPECT_EQ(l1i.config().line_bytes, 32u);
+  EXPECT_EQ(l1d.config().line_bytes, 64u);
+  EXPECT_EQ(l2.config().size_bytes, 1024u * 1024u);
+}
+
+TEST(CacheDeath, RejectsBadGeometry) {
+  EXPECT_DEATH(Cache({"bad", 1000, 2, 64, 1}), "geometry");
+  EXPECT_DEATH(Cache({"bad", 4096, 2, 60, 1}), "power of two");
+}
+
+TEST(Hierarchy, LatencyComposition) {
+  MemoryHierarchy h{HierarchyConfig{}};
+  // Cold: L1 miss + L2 miss -> 1 + 12 + 50.
+  EXPECT_EQ(h.dload(0x4000), 63u);
+  // Hot in both.
+  EXPECT_EQ(h.dload(0x4000), 1u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  MemoryHierarchy h{HierarchyConfig{}};
+  h.dload(0x0);
+  // L1D is 32KB 2-way with 64B lines: 256 sets, stride 16KB. Touch two more
+  // conflicting lines to evict the first from L1; L2 (1MB) still holds it.
+  h.dload(16 * 1024);
+  h.dload(32 * 1024);
+  EXPECT_EQ(h.dload(0x0), 13u);  // 1 + 12, L2 hit
+}
+
+TEST(Hierarchy, IfetchUsesICache) {
+  MemoryHierarchy h{HierarchyConfig{}};
+  EXPECT_EQ(h.ifetch(0x10000), 63u);
+  EXPECT_EQ(h.ifetch(0x10000), 1u);
+  // 0x10020 is the next 32B I-line but shares the 64B L2 line: L1 miss,
+  // L2 hit -> 1 + 12.
+  EXPECT_EQ(h.ifetch(0x10020), 13u);
+}
+
+TEST(Hierarchy, IfetchSecondLineHitsL2) {
+  MemoryHierarchy h{HierarchyConfig{}};
+  h.ifetch(0x10000);                   // fills 64B line in L2
+  EXPECT_EQ(h.ifetch(0x10020), 13u);   // L1I miss (32B lines), L2 hit
+}
+
+TEST(Hierarchy, StoresUpdateDirtyState) {
+  MemoryHierarchy h{HierarchyConfig{}};
+  h.dstore(0x8000);
+  EXPECT_EQ(h.l1d().stats().misses, 1u);
+  h.dstore(0x8000);
+  EXPECT_EQ(h.l1d().stats().misses, 1u);
+  EXPECT_EQ(h.l1d().stats().accesses, 2u);
+}
+
+}  // namespace
+}  // namespace erel::mem

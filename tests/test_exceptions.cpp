@@ -1,0 +1,130 @@
+// Precise-exception recovery (§4.3): the interrupt-injection mode flushes
+// the whole pipeline at a commit boundary and re-executes from the head PC.
+// Under early release the architectural mapping may point at a freed
+// register; the stale-bit machinery must keep execution exact (the oracle
+// verifies every committed instruction) with no double releases or leaks.
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace erel {
+namespace {
+
+using core::PolicyKind;
+
+struct FlushCase {
+  std::string workload;
+  PolicyKind policy;
+  unsigned phys;
+  std::uint64_t period;
+};
+
+std::string case_name(const testing::TestParamInfo<FlushCase>& info) {
+  return info.param.workload + "_" +
+         std::string(core::policy_name(info.param.policy)) + "_p" +
+         std::to_string(info.param.phys) + "_f" +
+         std::to_string(info.param.period);
+}
+
+class FlushInjection : public testing::TestWithParam<FlushCase> {};
+
+TEST_P(FlushInjection, OracleExactUnderRepeatedFlushes) {
+  const FlushCase& c = GetParam();
+  sim::SimConfig config;
+  config.policy = c.policy;
+  config.phys_int = c.phys;
+  config.phys_fp = c.phys;
+  config.check_oracle = true;  // every commit compared against the oracle
+  config.flush_period = c.period;
+  config.max_instructions = 120'000;  // keep the suite fast
+  sim::Simulator simulator(config);
+  auto core = simulator.make_core(workloads::assemble_workload(c.workload));
+  const sim::SimStats stats = core->run();
+  EXPECT_GT(stats.flushes_injected, 10u);
+  EXPECT_TRUE(core->conservation_holds());
+  EXPECT_GT(stats.committed, 50'000u);
+}
+
+std::vector<FlushCase> flush_cases() {
+  std::vector<FlushCase> cases;
+  for (const PolicyKind policy :
+       {PolicyKind::Conventional, PolicyKind::Basic, PolicyKind::Extended}) {
+    // compress: branchy + memory; tomcatv: FP pressure; li: recursion.
+    cases.push_back({"compress", policy, 48, 997});
+    cases.push_back({"tomcatv", policy, 48, 1009});
+    cases.push_back({"li", policy, 40, 499});
+  }
+  // Very frequent flushes on a very tight file: worst case for stale bits.
+  cases.push_back({"compress", PolicyKind::Extended, 40, 101});
+  cases.push_back({"tomcatv", PolicyKind::Basic, 40, 151});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, FlushInjection,
+                         testing::ValuesIn(flush_cases()), case_name);
+
+TEST(FlushSemantics, FlushedRunMatchesUnflushedResults) {
+  // The same program with and without injected flushes must produce the
+  // same memory image (flushes change timing, never architecture).
+  const arch::Program program = workloads::assemble_workload("go");
+  sim::SimConfig config;
+  config.policy = PolicyKind::Extended;
+  config.phys_int = 48;
+  config.phys_fp = 48;
+  config.check_oracle = false;
+
+  sim::Simulator plain(config);
+  auto core_plain = plain.make_core(program);
+  core_plain->run();
+
+  config.flush_period = 313;
+  sim::Simulator flushed(config);
+  auto core_flushed = flushed.make_core(program);
+  const auto stats = core_flushed->run();
+
+  EXPECT_GT(stats.flushes_injected, 100u);
+  const std::uint64_t result = program.symbols.at("result");
+  EXPECT_EQ(core_plain->memory().read_u64(result),
+            core_flushed->memory().read_u64(result));
+  // Flushes cost cycles.
+  EXPECT_GT(stats.cycles, core_plain->cycle());
+}
+
+TEST(FlushSemantics, StaleSuppressionsActuallyHappen) {
+  // With early release + flushes, some restored mappings must be stale and
+  // the policies must suppress their re-release (otherwise this run would
+  // abort on a double free).
+  sim::SimConfig config;
+  config.policy = PolicyKind::Extended;
+  config.phys_int = 48;
+  config.phys_fp = 48;
+  config.check_oracle = true;
+  config.flush_period = 97;
+  config.max_instructions = 200'000;
+  const auto stats =
+      sim::Simulator(config).run(workloads::assemble_workload("tomcatv"));
+  EXPECT_GT(stats.policy_stats[0].stale_suppressed +
+                stats.policy_stats[1].stale_suppressed,
+            0u);
+}
+
+TEST(FlushSemantics, ConventionalNeedsNoStaleSuppression) {
+  // Conventional release never frees before the NV commits, so a flush can
+  // never expose a stale mapping.
+  sim::SimConfig config;
+  config.policy = PolicyKind::Conventional;
+  config.phys_int = 48;
+  config.phys_fp = 48;
+  config.check_oracle = true;
+  config.flush_period = 97;
+  config.max_instructions = 200'000;
+  const auto stats =
+      sim::Simulator(config).run(workloads::assemble_workload("tomcatv"));
+  EXPECT_EQ(stats.policy_stats[0].stale_suppressed, 0u);
+  EXPECT_EQ(stats.policy_stats[1].stale_suppressed, 0u);
+}
+
+}  // namespace
+}  // namespace erel

@@ -1,0 +1,86 @@
+// FreeList: FIFO order, conservation, double-free / double-alloc aborts.
+#include <gtest/gtest.h>
+
+#include "core/free_list.hpp"
+
+namespace erel::core {
+namespace {
+
+TEST(FreeList, InitialSizeExcludesArchitecturalRegs) {
+  FreeList fl(96, 32);
+  EXPECT_EQ(fl.size(), 64u);
+  EXPECT_EQ(fl.capacity(), 96u);
+  EXPECT_FALSE(fl.is_free(0));
+  EXPECT_FALSE(fl.is_free(31));
+  EXPECT_TRUE(fl.is_free(32));
+}
+
+TEST(FreeList, AllocatesInFifoOrder) {
+  FreeList fl(40, 32);
+  EXPECT_EQ(fl.allocate(), 32);
+  EXPECT_EQ(fl.allocate(), 33);
+  fl.release(32);
+  EXPECT_EQ(fl.allocate(), 34);  // FIFO: released reg goes to the tail
+  EXPECT_EQ(fl.allocate(), 35);
+  EXPECT_EQ(fl.allocate(), 36);
+  EXPECT_EQ(fl.allocate(), 37);
+  EXPECT_EQ(fl.allocate(), 38);
+  EXPECT_EQ(fl.allocate(), 39);
+  EXPECT_EQ(fl.allocate(), 32);  // wrapped to the released one
+  EXPECT_TRUE(fl.empty());
+}
+
+TEST(FreeList, ReleaseMakesAvailableAgain) {
+  FreeList fl(34, 32);
+  const PhysReg a = fl.allocate();
+  const PhysReg b = fl.allocate();
+  EXPECT_TRUE(fl.empty());
+  fl.release(b);
+  fl.release(a);
+  EXPECT_EQ(fl.size(), 2u);
+  EXPECT_EQ(fl.allocate(), b);
+  EXPECT_EQ(fl.allocate(), a);
+}
+
+TEST(FreeList, StressConservation) {
+  FreeList fl(64, 32);
+  std::vector<PhysReg> held;
+  unsigned rng = 12345;
+  for (int step = 0; step < 10000; ++step) {
+    rng = rng * 1103515245 + 12345;
+    if ((rng >> 16) % 2 == 0 && !fl.empty()) {
+      held.push_back(fl.allocate());
+    } else if (!held.empty()) {
+      const std::size_t idx = (rng >> 20) % held.size();
+      fl.release(held[idx]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_EQ(fl.size() + held.size(), 32u);
+  }
+}
+
+TEST(FreeListDeath, DoubleReleaseAborts) {
+  FreeList fl(40, 32);
+  const PhysReg p = fl.allocate();
+  fl.release(p);
+  EXPECT_DEATH(fl.release(p), "double release");
+}
+
+TEST(FreeListDeath, ReleaseOfNeverAllocatedFreeRegAborts) {
+  FreeList fl(40, 32);
+  EXPECT_DEATH(fl.release(35), "double release");
+}
+
+TEST(FreeListDeath, AllocateFromEmptyAborts) {
+  FreeList fl(33, 32);
+  fl.allocate();
+  EXPECT_DEATH(fl.allocate(), "empty free list");
+}
+
+TEST(FreeListDeath, BogusRegisterAborts) {
+  FreeList fl(40, 32);
+  EXPECT_DEATH(fl.release(100), "bogus");
+}
+
+}  // namespace
+}  // namespace erel::core

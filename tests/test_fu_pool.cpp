@@ -1,0 +1,68 @@
+// FU pool: per-class per-cycle issue limits and the unpipelined FP divider.
+#include <gtest/gtest.h>
+
+#include "pipeline/fu_pool.hpp"
+
+namespace erel::pipeline {
+namespace {
+
+using isa::FuClass;
+
+TEST(FuPool, PerCycleLimitsMatchTable2) {
+  FuPool pool{FuConfig{}};
+  pool.begin_cycle(1);
+  for (unsigned i = 0; i < 8; ++i)
+    EXPECT_TRUE(pool.try_issue(FuClass::IntAlu, 1, 1));
+  EXPECT_FALSE(pool.try_issue(FuClass::IntAlu, 1, 1));
+  for (unsigned i = 0; i < 4; ++i)
+    EXPECT_TRUE(pool.try_issue(FuClass::IntMul, 1, 7));
+  EXPECT_FALSE(pool.try_issue(FuClass::IntMul, 1, 7));
+  for (unsigned i = 0; i < 6; ++i)
+    EXPECT_TRUE(pool.try_issue(FuClass::FpAlu, 1, 4));
+  EXPECT_FALSE(pool.try_issue(FuClass::FpAlu, 1, 4));
+  for (unsigned i = 0; i < 4; ++i)
+    EXPECT_TRUE(pool.try_issue(FuClass::LdSt, 1, 1));
+  EXPECT_FALSE(pool.try_issue(FuClass::LdSt, 1, 1));
+}
+
+TEST(FuPool, PipelinedUnitsResetEachCycle) {
+  FuPool pool{FuConfig{}};
+  pool.begin_cycle(1);
+  for (unsigned i = 0; i < 4; ++i)
+    EXPECT_TRUE(pool.try_issue(FuClass::IntMul, 1, 7));
+  pool.begin_cycle(2);
+  // Fully pipelined: all four multipliers accept again next cycle.
+  for (unsigned i = 0; i < 4; ++i)
+    EXPECT_TRUE(pool.try_issue(FuClass::IntMul, 2, 7));
+}
+
+TEST(FuPool, FpDividerIsUnpipelined) {
+  FuPool pool{FuConfig{}};
+  pool.begin_cycle(1);
+  for (unsigned i = 0; i < 4; ++i)
+    EXPECT_TRUE(pool.try_issue(FuClass::FpDiv, 1, 16));
+  // All four dividers busy for 16 cycles.
+  pool.begin_cycle(2);
+  EXPECT_FALSE(pool.try_issue(FuClass::FpDiv, 2, 16));
+  pool.begin_cycle(16);
+  EXPECT_FALSE(pool.try_issue(FuClass::FpDiv, 16, 16));
+  pool.begin_cycle(17);
+  EXPECT_TRUE(pool.try_issue(FuClass::FpDiv, 17, 16));
+}
+
+TEST(FuPool, ControlOpsNeedNoUnit) {
+  FuPool pool{FuConfig{}};
+  pool.begin_cycle(1);
+  for (unsigned i = 0; i < 100; ++i)
+    EXPECT_TRUE(pool.try_issue(FuClass::None, 1, 1));
+}
+
+TEST(FuPool, CountsAccessor) {
+  FuPool pool{FuConfig{}};
+  EXPECT_EQ(pool.count(FuClass::IntAlu), 8u);
+  EXPECT_EQ(pool.count(FuClass::FpDiv), 4u);
+  EXPECT_EQ(pool.count(FuClass::LdSt), 4u);
+}
+
+}  // namespace
+}  // namespace erel::pipeline

@@ -1,0 +1,81 @@
+// LUs Table semantics (paper §3.1/§3.2): last-use recording, C-bit commit
+// updates (including on checkpoint copies), architectural reset.
+#include <gtest/gtest.h>
+
+#include "core/lus_table.hpp"
+
+namespace erel::core {
+namespace {
+
+TEST(LUsTable, InitialStateIsArchitecturalCommitted) {
+  LUsTable t;
+  for (unsigned r = 0; r < isa::kNumLogicalRegs; ++r) {
+    EXPECT_EQ(t.lookup(r).kind, UseKind::Arch);
+    EXPECT_TRUE(t.lookup(r).committed);
+    EXPECT_EQ(t.lookup(r).seq, kNoSeq);
+  }
+}
+
+TEST(LUsTable, RecordUseOverwritesInProgramOrder) {
+  LUsTable t;
+  t.record_use(4, 100, UseKind::Src1);
+  t.record_use(4, 101, UseKind::Src2);
+  t.record_use(4, 102, UseKind::Dst);
+  const LUsEntry& e = t.lookup(4);
+  EXPECT_EQ(e.seq, 102u);
+  EXPECT_EQ(e.kind, UseKind::Dst);
+  EXPECT_FALSE(e.committed);
+}
+
+TEST(LUsTable, CommitSetsCOnMatchingEntriesOnly) {
+  LUsTable t;
+  t.record_use(1, 100, UseKind::Src1);
+  t.record_use(2, 100, UseKind::Src2);  // same instruction, two registers
+  t.record_use(3, 101, UseKind::Dst);
+  t.on_commit(100);
+  EXPECT_TRUE(t.lookup(1).committed);
+  EXPECT_TRUE(t.lookup(2).committed);
+  EXPECT_FALSE(t.lookup(3).committed);
+}
+
+TEST(LUsTable, CommitUpdateReachesCheckpointCopies) {
+  LUsTable t;
+  t.record_use(5, 200, UseKind::Src1);
+  LUsTable::Snapshot checkpoint = t.snapshot();
+  t.record_use(5, 201, UseKind::Src1);  // younger use in the working copy
+  // Instruction 200 commits: both copies must see C=1 where they still
+  // reference 200 (paper: "extended to all LUs Table copies").
+  t.on_commit(200);
+  LUsTable::update_commit_in(checkpoint, 200);
+  EXPECT_TRUE(checkpoint[5].committed);
+  EXPECT_FALSE(t.lookup(5).committed);  // working copy points to 201
+}
+
+TEST(LUsTable, RestoreBringsBackOlderLastUses) {
+  LUsTable t;
+  t.record_use(7, 300, UseKind::Dst);
+  const LUsTable::Snapshot snap = t.snapshot();
+  t.record_use(7, 350, UseKind::Src2);  // wrong-path use
+  t.restore(snap);
+  EXPECT_EQ(t.lookup(7).seq, 300u);
+  EXPECT_EQ(t.lookup(7).kind, UseKind::Dst);
+}
+
+TEST(LUsTable, ResetArchitecturalClearsEverything) {
+  LUsTable t;
+  t.record_use(0, 1, UseKind::Src1);
+  t.record_use(31, 2, UseKind::Dst);
+  t.reset_architectural();
+  EXPECT_EQ(t.lookup(0).kind, UseKind::Arch);
+  EXPECT_TRUE(t.lookup(31).committed);
+}
+
+TEST(LUsTable, RelBitMapping) {
+  EXPECT_EQ(rel_bit_for(UseKind::Src1), kRel1);
+  EXPECT_EQ(rel_bit_for(UseKind::Src2), kRel2);
+  EXPECT_EQ(rel_bit_for(UseKind::Dst), kRelD);
+  EXPECT_EQ(rel_bit_for(UseKind::Arch), 0);
+}
+
+}  // namespace
+}  // namespace erel::core

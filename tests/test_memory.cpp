@@ -1,0 +1,69 @@
+// SparseMemory: paging, zero-fill, block writes, alignment.
+#include <gtest/gtest.h>
+
+#include "arch/memory.hpp"
+
+namespace erel::arch {
+namespace {
+
+TEST(SparseMemory, ReadsZeroBeforeAnyWrite) {
+  SparseMemory mem;
+  EXPECT_EQ(mem.read_u64(0x1000), 0u);
+  EXPECT_EQ(mem.read_u8(0xdeadbee0), 0u);
+  EXPECT_EQ(mem.resident_pages(), 0u);  // reads must not materialize pages
+}
+
+TEST(SparseMemory, WriteReadRoundTripAllSizes) {
+  SparseMemory mem;
+  mem.write(0x100, 0xAB, 1);
+  mem.write(0x102, 0xBEEF, 2);
+  mem.write(0x104, 0xCAFEBABE, 4);
+  mem.write(0x108, 0x0123456789abcdefull, 8);
+  EXPECT_EQ(mem.read(0x100, 1), 0xABu);
+  EXPECT_EQ(mem.read(0x102, 2), 0xBEEFu);
+  EXPECT_EQ(mem.read(0x104, 4), 0xCAFEBABEu);
+  EXPECT_EQ(mem.read(0x108, 8), 0x0123456789abcdefull);
+}
+
+TEST(SparseMemory, ByteWritesComposeLittleEndian) {
+  SparseMemory mem;
+  for (unsigned i = 0; i < 8; ++i) mem.write(0x200 + i, 0x10 + i, 1);
+  EXPECT_EQ(mem.read_u64(0x200), 0x1716151413121110ull);
+}
+
+TEST(SparseMemory, NarrowWriteLeavesNeighborsIntact) {
+  SparseMemory mem;
+  mem.write(0x300, ~0ull, 8);
+  mem.write(0x302, 0, 2);
+  EXPECT_EQ(mem.read_u64(0x300), 0xFFFFFFFF0000FFFFull);
+}
+
+TEST(SparseMemory, BlockWriteSpansPages) {
+  SparseMemory mem;
+  std::vector<std::uint8_t> bytes(SparseMemory::kPageBytes + 64);
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    bytes[i] = static_cast<std::uint8_t>(i);
+  const std::uint64_t base = SparseMemory::kPageBytes - 32;  // crosses a page
+  mem.write_block(base, bytes);
+  EXPECT_EQ(mem.resident_pages(), 3u);
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    ASSERT_EQ(mem.read_u8(base + i), bytes[i]) << i;
+}
+
+TEST(SparseMemory, DistinctPagesAreIndependent) {
+  SparseMemory mem;
+  mem.write(0x0, 0x11, 1);
+  mem.write(SparseMemory::kPageBytes, 0x22, 1);
+  EXPECT_EQ(mem.read_u8(0x0), 0x11u);
+  EXPECT_EQ(mem.read_u8(SparseMemory::kPageBytes), 0x22u);
+  EXPECT_EQ(mem.resident_pages(), 2u);
+}
+
+TEST(SparseMemoryDeath, UnalignedAccessAborts) {
+  SparseMemory mem;
+  EXPECT_DEATH((void)mem.read(0x101, 8), "unaligned");
+  EXPECT_DEATH(mem.write(0x102, 0, 4), "unaligned");
+}
+
+}  // namespace
+}  // namespace erel::arch

@@ -1,0 +1,136 @@
+// Release Queue (paper §4.2): level push, conditional scheduling, LU-commit
+// migration (RwC -> RwNS), out-of-order confirmation merging, misprediction
+// clearing, and the population bound.
+#include <gtest/gtest.h>
+
+#include "core/release_queue.hpp"
+
+namespace erel::core {
+namespace {
+
+TEST(ReleaseQueue, OldestConfirmReleasesRwns) {
+  ReleaseQueue q;
+  q.push_level(10);
+  q.schedule_committed(40);
+  q.schedule_committed(41);
+  const auto result = q.confirm(10);
+  EXPECT_EQ(result.release_now.size(), 2u);
+  EXPECT_TRUE(result.to_rwc0.empty());
+  EXPECT_EQ(q.num_levels(), 0u);
+}
+
+TEST(ReleaseQueue, OldestConfirmMovesRwcToRwc0) {
+  ReleaseQueue q;
+  q.push_level(10);
+  q.schedule_inflight(/*lu=*/5, kRel1 | kRelD);
+  const auto result = q.confirm(10);
+  EXPECT_TRUE(result.release_now.empty());
+  ASSERT_EQ(result.to_rwc0.size(), 1u);
+  EXPECT_EQ(result.to_rwc0[0].first, 5u);
+  EXPECT_EQ(result.to_rwc0[0].second, kRel1 | kRelD);
+}
+
+TEST(ReleaseQueue, MiddleConfirmMergesDownward) {
+  ReleaseQueue q;
+  q.push_level(10);
+  q.schedule_committed(40);
+  q.push_level(20);
+  q.schedule_committed(41);
+  q.schedule_inflight(7, kRel2);
+  // Branch 20 (second-oldest) confirms: its content merges into level 10.
+  const auto mid = q.confirm(20);
+  EXPECT_TRUE(mid.release_now.empty());
+  EXPECT_TRUE(mid.to_rwc0.empty());
+  EXPECT_EQ(q.num_levels(), 1u);
+  // Now the oldest confirms and everything drains.
+  const auto oldest = q.confirm(10);
+  EXPECT_EQ(oldest.release_now.size(), 2u);
+  ASSERT_EQ(oldest.to_rwc0.size(), 1u);
+  EXPECT_EQ(oldest.to_rwc0[0].second, kRel2);
+}
+
+TEST(ReleaseQueue, OutOfOrderConfirmationOfYoungest) {
+  ReleaseQueue q;
+  q.push_level(10);
+  q.push_level(20);
+  q.push_level(30);
+  q.schedule_committed(50);  // lands in level 30 (TAIL)
+  const auto r30 = q.confirm(30);  // youngest confirms first
+  EXPECT_TRUE(r30.release_now.empty());
+  EXPECT_EQ(q.num_levels(), 2u);
+  q.confirm(20);
+  const auto r10 = q.confirm(10);
+  EXPECT_EQ(r10.release_now.size(), 1u);
+  EXPECT_EQ(r10.release_now[0], 50);
+}
+
+TEST(ReleaseQueue, LuCommitConvertsBitsUsingPrid) {
+  ReleaseQueue q;
+  q.push_level(10);
+  q.schedule_inflight(/*lu=*/5, kRel1);
+  q.push_level(20);
+  q.schedule_inflight(/*lu=*/5, kRel2);  // same LU in another level
+  q.on_lu_commit(5, /*p1=*/60, /*p2=*/61, /*pd=*/62);
+  // Both levels now hold decoded registers; confirm in order and collect.
+  q.confirm(20);  // merges 61 into level 10
+  const auto result = q.confirm(10);
+  ASSERT_EQ(result.release_now.size(), 2u);
+  EXPECT_TRUE((result.release_now[0] == 60 && result.release_now[1] == 61) ||
+              (result.release_now[0] == 61 && result.release_now[1] == 60));
+  EXPECT_TRUE(result.to_rwc0.empty());
+}
+
+TEST(ReleaseQueue, MispredictDropsLevelAndYounger) {
+  ReleaseQueue q;
+  q.push_level(10);
+  q.schedule_committed(40);
+  q.push_level(20);
+  q.schedule_committed(41);
+  q.push_level(30);
+  q.schedule_committed(42);
+  q.mispredict(20);
+  EXPECT_EQ(q.num_levels(), 1u);
+  EXPECT_TRUE(q.has_level(10));
+  EXPECT_FALSE(q.has_level(20));
+  EXPECT_FALSE(q.has_level(30));
+  const auto result = q.confirm(10);
+  ASSERT_EQ(result.release_now.size(), 1u);
+  EXPECT_EQ(result.release_now[0], 40);
+}
+
+TEST(ReleaseQueue, PopulationCountsBothKinds) {
+  ReleaseQueue q;
+  q.push_level(10);
+  q.schedule_committed(40);
+  q.schedule_inflight(5, kRel1 | kRel2 | kRelD);
+  EXPECT_EQ(q.total_scheduled(), 4u);
+  q.clear();
+  EXPECT_EQ(q.total_scheduled(), 0u);
+  EXPECT_EQ(q.num_levels(), 0u);
+}
+
+TEST(ReleaseQueueDeath, ScheduleWithoutLevelAborts) {
+  ReleaseQueue q;
+  EXPECT_DEATH(q.schedule_committed(40), "no pending branch");
+}
+
+TEST(ReleaseQueueDeath, DuplicateSchedulingAborts) {
+  ReleaseQueue q;
+  q.push_level(10);
+  q.schedule_inflight(5, kRel1);
+  EXPECT_DEATH(q.schedule_inflight(5, kRel1), "duplicate");
+}
+
+TEST(ReleaseQueueDeath, OutOfOrderPushAborts) {
+  ReleaseQueue q;
+  q.push_level(20);
+  EXPECT_DEATH(q.push_level(10), "decode order");
+}
+
+TEST(ReleaseQueueDeath, ConfirmUnknownAborts) {
+  ReleaseQueue q;
+  EXPECT_DEATH(q.confirm(99), "unknown");
+}
+
+}  // namespace
+}  // namespace erel::core

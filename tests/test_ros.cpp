@@ -1,0 +1,101 @@
+// Reorder structure: FIFO behaviour, wrap-around, truncation, capacity.
+#include <gtest/gtest.h>
+
+#include "pipeline/ros.hpp"
+
+namespace erel::pipeline {
+namespace {
+
+TEST(Ros, PushPopFifo) {
+  Ros ros(4);
+  EXPECT_TRUE(ros.empty());
+  ros.push(1).pc = 0x100;
+  ros.push(2).pc = 0x104;
+  EXPECT_EQ(ros.size(), 2u);
+  EXPECT_EQ(ros.head().pc, 0x100u);
+  ros.pop_head();
+  EXPECT_EQ(ros.head().pc, 0x104u);
+}
+
+TEST(Ros, FullAtCapacity) {
+  Ros ros(2);
+  ros.push(1);
+  ros.push(2);
+  EXPECT_TRUE(ros.full());
+  ros.pop_head();
+  EXPECT_FALSE(ros.full());
+  ros.push(3);  // slot of seq 1 recycled
+  EXPECT_TRUE(ros.full());
+  EXPECT_EQ(ros.at(3).seq, 3u);
+}
+
+TEST(Ros, WrapAroundPreservesEntries) {
+  Ros ros(4);
+  for (core::InstSeq s = 1; s <= 4; ++s) ros.push(s).pc = 0x100 + 4 * s;
+  for (core::InstSeq s = 1; s <= 2; ++s) ros.pop_head();
+  ros.push(5).pc = 0x200;
+  ros.push(6).pc = 0x204;
+  EXPECT_EQ(ros.at(3).pc, 0x10Cu);
+  EXPECT_EQ(ros.at(5).pc, 0x200u);
+  EXPECT_FALSE(ros.contains(2));
+  EXPECT_TRUE(ros.contains(6));
+}
+
+TEST(Ros, TruncateAfterSquashesYounger) {
+  Ros ros(8);
+  for (core::InstSeq s = 1; s <= 6; ++s) ros.push(s);
+  ros.truncate_after(3);
+  EXPECT_EQ(ros.size(), 3u);
+  EXPECT_TRUE(ros.contains(3));
+  EXPECT_FALSE(ros.contains(4));
+  // Sequence numbers restart from the boundary.
+  EXPECT_EQ(ros.tail_seq(), 4u);
+  ros.push(4);
+  EXPECT_TRUE(ros.contains(4));
+}
+
+TEST(Ros, ClearEmptiesEverything) {
+  Ros ros(4);
+  ros.push(1);
+  ros.push(2);
+  ros.clear();
+  EXPECT_TRUE(ros.empty());
+  EXPECT_EQ(ros.head_seq(), ros.tail_seq());
+}
+
+TEST(Ros, PushResetsEntryState) {
+  Ros ros(2);
+  RosEntry& e = ros.push(1);
+  e.rec.rel_bits = 0x7;
+  e.state = EntryState::Completed;
+  ros.pop_head();
+  ros.push(2);
+  ros.pop_head();
+  // Seq 3 lands in the same slot as seq 1: must be pristine.
+  RosEntry& fresh = ros.push(3);
+  EXPECT_EQ(fresh.rec.rel_bits, 0u);
+  EXPECT_EQ(fresh.state, EntryState::Dispatched);
+}
+
+TEST(RosDeath, AccessOutOfRangeAborts) {
+  Ros ros(4);
+  ros.push(1);
+  EXPECT_DEATH(ros.at(2), "retired/absent");
+  ros.pop_head();
+  EXPECT_DEATH(ros.at(1), "retired/absent");
+}
+
+TEST(RosDeath, SequenceDiscontinuityAborts) {
+  Ros ros(4);
+  ros.push(1);
+  EXPECT_DEATH(ros.push(5), "discontinuity");
+}
+
+TEST(RosDeath, PushIntoFullAborts) {
+  Ros ros(1);
+  ros.push(1);
+  EXPECT_DEATH(ros.push(2), "full");
+}
+
+}  // namespace
+}  // namespace erel::pipeline

@@ -1,0 +1,116 @@
+// Simulator facade and configuration description; disassembler round-trips
+// over whole workload programs.
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hpp"
+#include "isa/isa.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace erel {
+namespace {
+
+TEST(Simulator, DescribeContainsTable2Lines) {
+  const std::string text = sim::describe_config(sim::SimConfig{});
+  for (const char* fragment :
+       {"8 instructions (up to 2 taken branches)",
+        "18-bit gshare, speculative updates, up to 20 pending branches",
+        "128 entries", "8 simple int (1)",
+        "64 entries with store-load forwarding",
+        "unbounded size, 50-cycle access"}) {
+    EXPECT_NE(text.find(fragment), std::string::npos) << fragment;
+  }
+}
+
+TEST(Simulator, FormatStatsContainsHeadlineNumbers) {
+  sim::SimConfig config;
+  config.policy = core::PolicyKind::Extended;
+  config.phys_int = config.phys_fp = 48;
+  const sim::SimStats stats =
+      sim::Simulator(config).run(workloads::assemble_workload("go"));
+  const std::string report = sim::format_stats(stats);
+  EXPECT_NE(report.find("IPC"), std::string::npos);
+  EXPECT_NE(report.find("halted"), std::string::npos);
+  EXPECT_NE(report.find("early@LU"), std::string::npos);
+  EXPECT_NE(report.find("occupancy"), std::string::npos);
+  EXPECT_NE(report.find(std::to_string(stats.committed)), std::string::npos);
+}
+
+TEST(Simulator, FacadeRunsToCompletion) {
+  sim::SimConfig config;
+  config.policy = core::PolicyKind::Extended;
+  config.phys_int = config.phys_fp = 48;
+  const sim::SimStats stats =
+      sim::Simulator(config).run(workloads::assemble_workload("li"));
+  EXPECT_TRUE(stats.halted);
+  EXPECT_GT(stats.ipc(), 0.5);
+}
+
+TEST(Simulator, MakeCoreIsIndependentPerCall) {
+  sim::SimConfig config;
+  config.phys_int = config.phys_fp = 48;
+  sim::Simulator simulator(config);
+  const arch::Program program = workloads::assemble_workload("go");
+  auto a = simulator.make_core(program);
+  auto b = simulator.make_core(program);
+  a->tick();
+  a->tick();
+  EXPECT_EQ(b->cycle(), 0u);  // cores share nothing
+}
+
+// Disassemble every instruction of every workload and re-assemble simple
+// R/I-format lines to validate the text form (branch/jump targets render as
+// absolute addresses, so full re-assembly is checked structurally instead).
+TEST(Disassembler, AllWorkloadInstructionsRender) {
+  for (const auto& name : workloads::workload_names()) {
+    const arch::Program program = workloads::assemble_workload(name);
+    for (std::size_t i = 0; i < program.code.size(); ++i) {
+      const auto inst = isa::decode(program.code[i]);
+      ASSERT_NE(inst.op, isa::Opcode::ILLEGAL)
+          << name << " @" << i << ": illegal encoding in program image";
+      const std::string text =
+          isa::disassemble(inst, program.code_base + 4 * i);
+      EXPECT_FALSE(text.empty());
+      EXPECT_EQ(text.rfind(std::string(inst.info().mnemonic), 0), 0u) << text;
+    }
+  }
+}
+
+TEST(Disassembler, EncodeDecodeDisasmStableForAllWorkloads) {
+  // decode(encode(decode(w))) == decode(w) for every instruction word of
+  // every kernel: the binary format is a fixed point.
+  for (const auto& name : workloads::workload_names()) {
+    const arch::Program program = workloads::assemble_workload(name);
+    for (const std::uint32_t word : program.code) {
+      const auto inst = isa::decode(word);
+      EXPECT_EQ(isa::encode(inst), word);
+    }
+  }
+}
+
+TEST(Workloads, RegistryIsCompleteAndNamed) {
+  const auto& names = workloads::workload_names();
+  EXPECT_EQ(names.size(), 10u);
+  unsigned fp = 0;
+  for (const auto& name : names) fp += workloads::workload(name).is_fp;
+  EXPECT_EQ(fp, 5u);
+  EXPECT_EQ(names.front(), "compress");
+  EXPECT_EQ(names.back(), "hydro2d");
+}
+
+TEST(Workloads, KernelGeneratorsScale) {
+  // Smaller scales assemble and run to completion too (used by quick CI
+  // configurations and by the fuzz harness).
+  const arch::Program small = asmkit::assemble(workloads::kernel_go(5));
+  arch::ArchState state(small);
+  state.run(10'000'000);
+  EXPECT_TRUE(state.halted());
+  const arch::Program large = asmkit::assemble(workloads::kernel_go(40));
+  arch::ArchState state2(large);
+  state2.run(50'000'000);
+  EXPECT_TRUE(state2.halted());
+  EXPECT_GT(state2.instructions_executed(), state.instructions_executed());
+}
+
+}  // namespace
+}  // namespace erel
