@@ -25,7 +25,7 @@ int main() {
       for (const auto& w : workloads::workload_names()) {
         auto config = harness::experiment_config(PolicyKind::Extended, 48);
         config.max_pending_branches = depth;
-        specs.push_back({w, config, ""});
+        specs.push_back({w, config, "", {}});
       }
       const auto results = harness::run_all(specs);
       std::vector<double> int_ipc, fp_ipc;
@@ -87,7 +87,7 @@ int main() {
       for (const auto& w : workloads::workload_names()) {
         auto config = harness::experiment_config(PolicyKind::Extended, 64);
         config.lsq_size = lsq;
-        specs.push_back({w, config, ""});
+        specs.push_back({w, config, "", {}});
       }
       const auto results = harness::run_all(specs);
       std::vector<double> int_ipc, fp_ipc;

@@ -31,7 +31,7 @@ inline SweepResults run_sweep(const std::vector<std::string>& names,
   for (const std::string& w : names)
     for (const core::PolicyKind policy : policies)
       for (const unsigned p : sizes)
-        specs.push_back({w, harness::experiment_config(policy, p), ""});
+        specs.push_back({w, harness::experiment_config(policy, p), "", {}});
   const auto results = harness::run_all(specs);
   SweepResults out;
   std::size_t i = 0;

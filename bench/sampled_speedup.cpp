@@ -1,0 +1,92 @@
+// Acceptance bench for checkpointed sampled simulation: on a long-running
+// looped kernel (>= 10M committed instructions), interval sampling with
+// functional warming must reproduce the full detailed-simulation IPC within
+// 3% while running at least 5x faster (wall clock).
+//
+//   $ ./sampled_speedup [sweeps]   # default 2400 go sweeps (~10.6M insts)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "asmkit/assembler.hpp"
+#include "common/table.hpp"
+#include "sim/sampling.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace erel;
+
+  const unsigned sweeps =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 2400;
+  std::printf("assembling go(%u) — board scanning, data-dependent branches\n",
+              sweeps);
+  const arch::Program program =
+      asmkit::assemble(workloads::kernel_go(sweeps));
+
+  sim::SimConfig config;
+  config.policy = core::PolicyKind::Extended;
+  config.phys_int = config.phys_fp = 64;
+  config.check_oracle = false;
+
+  std::printf("full detailed simulation...\n");
+  auto t0 = std::chrono::steady_clock::now();
+  const sim::SimStats full = sim::Simulator(config).run(program);
+  const double full_seconds = seconds_since(t0);
+
+  sim::SamplingConfig sampling;
+  sampling.period = 1'000'000;
+  sampling.warmup = 20'000;
+  sampling.detail = 30'000;
+  std::printf(
+      "sampled simulation (period=%llu, warmup=%llu, detail=%llu, "
+      "functional warming on)...\n",
+      static_cast<unsigned long long>(sampling.period),
+      static_cast<unsigned long long>(sampling.warmup),
+      static_cast<unsigned long long>(sampling.detail));
+  t0 = std::chrono::steady_clock::now();
+  const sim::SampledStats sampled =
+      sim::SampledSimulator(config, sampling).run(program);
+  const double sampled_seconds = seconds_since(t0);
+
+  const double ipc_err =
+      full.ipc() == 0.0 ? 0.0
+                        : (sampled.estimate.ipc() - full.ipc()) / full.ipc();
+  const double speedup =
+      sampled_seconds == 0.0 ? 0.0 : full_seconds / sampled_seconds;
+
+  std::printf("\n=== sampled vs. full detailed simulation ===\n");
+  TextTable t({"metric", "full", "sampled"});
+  t.add_row({"instructions", std::to_string(full.committed),
+             std::to_string(sampled.total_instructions)});
+  t.add_row({"IPC", TextTable::num(full.ipc(), 4),
+             TextTable::num(sampled.estimate.ipc(), 4)});
+  t.add_row({"wall seconds", TextTable::num(full_seconds, 2),
+             TextTable::num(sampled_seconds, 2)});
+  t.add_row({"samples", "-", std::to_string(sampled.samples.size())});
+  t.add_row({"detail fraction", "100%",
+             TextTable::pct(sampled.detail_fraction(), 1)});
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("%s", sim::format_sampled_stats(sampled).c_str());
+
+  const bool ipc_ok = ipc_err > -0.03 && ipc_err < 0.03;
+  const bool speed_ok = speedup >= 5.0;
+  const bool long_enough = full.committed >= 10'000'000;
+  std::printf("\nIPC error    %+.2f%%  [%s] (tolerance 3%%)\n",
+              100.0 * ipc_err, ipc_ok ? "PASS" : "FAIL");
+  std::printf("speedup      %.1fx  [%s] (floor 5x)\n", speedup,
+              speed_ok ? "PASS" : "FAIL");
+  std::printf("run length   %llu committed  [%s] (floor 10M)\n",
+              static_cast<unsigned long long>(full.committed),
+              long_enough ? "PASS" : "FAIL");
+  return ipc_ok && speed_ok && long_enough ? 0 : 1;
+}

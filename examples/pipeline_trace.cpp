@@ -1,19 +1,42 @@
-// Pipeline trace ("pipeview"): prints each committed instruction's journey
-// through the machine — dispatch, issue, writeback, commit cycles — plus an
-// ASCII lane diagram, for a short program on a very tight register file.
-// Rename (free-list) stalls are directly visible as gaps between commits of
-// redefining instructions and dispatches of their successors.
+// Pipeline trace ("pipeview") on the binary trace format: records each
+// committed instruction's journey through the machine — dispatch, issue,
+// writeback, commit cycles — into a versioned delta-encoded trace file, then
+// reads it back for reporting. The human-readable table and ASCII lane
+// diagram remain available behind --dump. Rename (free-list) stalls are
+// directly visible as gaps between commits of redefining instructions and
+// dispatches of their successors.
 //
-//   $ ./pipeline_trace
+//   $ ./pipeline_trace                    # record + summarize pipeline.ertr
+//   $ ./pipeline_trace --dump             # also print the per-commit table
+//   $ ./pipeline_trace --dump my.ertr     # choose the trace path
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "asmkit/assembler.hpp"
 #include "isa/isa.hpp"
 #include "sim/simulator.hpp"
+#include "trace/capture.hpp"
+#include "trace/reader.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace erel;
+
+  bool dump = false;
+  std::string path = "pipeline.ertr";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dump") == 0) {
+      dump = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\nusage: %s [--dump] [out.ertr]\n",
+                   argv[i], argv[0]);
+      return 2;
+    } else {
+      path = argv[i];
+    }
+  }
 
   const arch::Program program = asmkit::assemble(R"(
 main:
@@ -36,48 +59,59 @@ data: .double 1.5, 2.0, 0.0
   config.policy = core::PolicyKind::Extended;
   config.phys_int = 40;
   config.phys_fp = 36;  // very tight: only 4 FP rename registers
-  std::vector<sim::SimConfig::TraceEvent> events;
-  config.trace = [&events](const sim::SimConfig::TraceEvent& ev) {
-    events.push_back(ev);
-  };
 
-  sim::Simulator simulator(config);
-  const sim::SimStats stats = simulator.run(program);
+  // Record the run straight into the binary trace format (the program image
+  // embeds, so `harness` can replay this file as workload "trace:<path>").
+  const sim::SimStats stats = trace::capture(program, config, path);
 
-  std::printf("%-5s %-9s %-28s %9s %7s %9s %8s\n", "seq", "pc", "instruction",
-              "dispatch", "issue", "complete", "commit");
-  for (const auto& ev : events) {
-    const auto inst = isa::decode(ev.encoding);
-    std::printf("%-5llu %08llx  %-28s %9llu %7llu %9llu %8llu\n",
-                static_cast<unsigned long long>(ev.seq),
-                static_cast<unsigned long long>(ev.pc),
-                isa::disassemble(inst, ev.pc).c_str(),
-                static_cast<unsigned long long>(ev.dispatch_cycle),
-                static_cast<unsigned long long>(ev.issue_cycle),
-                static_cast<unsigned long long>(ev.complete_cycle),
-                static_cast<unsigned long long>(ev.commit_cycle));
+  // Everything below re-reads the file: the reader, not the live run, is the
+  // source of truth.
+  trace::TraceReader reader(path);
+  std::printf("wrote %s: format v%u, %llu records, program image %s\n",
+              path.c_str(), reader.version(),
+              static_cast<unsigned long long>(reader.num_records()),
+              reader.has_program() ? "embedded" : "absent");
+  if (dump) {
+    const std::vector<sim::SimConfig::TraceEvent> events = reader.read_all();
+    std::printf("\n%-5s %-9s %-28s %9s %7s %9s %8s\n", "seq", "pc",
+                "instruction", "dispatch", "issue", "complete", "commit");
+    for (const auto& ev : events) {
+      const auto inst = isa::decode(ev.encoding);
+      std::printf("%-5llu %08llx  %-28s %9llu %7llu %9llu %8llu\n",
+                  static_cast<unsigned long long>(ev.seq),
+                  static_cast<unsigned long long>(ev.pc),
+                  isa::disassemble(inst, ev.pc).c_str(),
+                  static_cast<unsigned long long>(ev.dispatch_cycle),
+                  static_cast<unsigned long long>(ev.issue_cycle),
+                  static_cast<unsigned long long>(ev.complete_cycle),
+                  static_cast<unsigned long long>(ev.commit_cycle));
+    }
+
+    // Lane diagram for the last loop iteration (D dispatch, I issue,
+    // C complete, R retire/commit).
+    std::printf("\nlane diagram (last %zu commits):\n",
+                std::min<std::size_t>(events.size(), 10));
+    const std::size_t first = events.size() > 10 ? events.size() - 10 : 0;
+    const std::uint64_t t0 = events[first].dispatch_cycle;
+    for (std::size_t i = first; i < events.size(); ++i) {
+      const auto& ev = events[i];
+      std::string lane(std::max<std::uint64_t>(ev.commit_cycle - t0 + 2, 2),
+                       ' ');
+      lane[ev.dispatch_cycle - t0] = 'D';
+      lane[ev.issue_cycle - t0] = 'I';
+      lane[ev.complete_cycle - t0] = 'C';
+      lane[ev.commit_cycle - t0] = 'R';
+      const auto inst = isa::decode(ev.encoding);
+      std::printf("  %-12s |%s\n",
+                  std::string(inst.info().mnemonic).c_str(), lane.c_str());
+    }
   }
 
-  // Lane diagram for the last loop iteration (D dispatch, I issue,
-  // C complete, R retire/commit).
-  std::printf("\nlane diagram (last %zu commits):\n",
-              std::min<std::size_t>(events.size(), 10));
-  const std::size_t first =
-      events.size() > 10 ? events.size() - 10 : 0;
-  const std::uint64_t t0 = events[first].dispatch_cycle;
-  for (std::size_t i = first; i < events.size(); ++i) {
-    const auto& ev = events[i];
-    std::string lane(std::max<std::uint64_t>(ev.commit_cycle - t0 + 2, 2),
-                     ' ');
-    lane[ev.dispatch_cycle - t0] = 'D';
-    lane[ev.issue_cycle - t0] = 'I';
-    lane[ev.complete_cycle - t0] = 'C';
-    lane[ev.commit_cycle - t0] = 'R';
-    const auto inst = isa::decode(ev.encoding);
-    std::printf("  %-12s |%s\n",
-                std::string(inst.info().mnemonic).c_str(), lane.c_str());
-  }
-
+  const trace::ReplaySummary summary = trace::summarize(path);
+  std::printf("\ntrace summary: %llu instructions, IPC %.4f, "
+              "avg dispatch->commit %.1f cycles\n",
+              static_cast<unsigned long long>(summary.instructions),
+              summary.ipc, summary.avg_latency());
   std::printf("\n%s", sim::format_stats(stats).c_str());
   return 0;
 }

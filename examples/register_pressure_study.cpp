@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   std::vector<harness::RunSpec> specs;
   for (const PolicyKind policy : policies)
     for (const unsigned p : sizes)
-      specs.push_back({name, harness::experiment_config(policy, p), ""});
+      specs.push_back({name, harness::experiment_config(policy, p), "", {}});
   const auto results = harness::run_all(specs);
 
   TextTable t({"registers", "conv", "basic", "extended", "extended speedup"});

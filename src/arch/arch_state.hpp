@@ -63,6 +63,14 @@ class ArchState {
   /// Forces the PC (used by exception-replay tests).
   void set_pc(std::uint64_t pc) { pc_ = pc; }
 
+  /// Checkpoint restore: rebases the instruction counter and halt flag
+  /// (registers, memory and PC are restored through their own setters; see
+  /// arch/checkpoint.hpp).
+  void set_resume_point(std::uint64_t icount, bool halted) {
+    icount_ = icount;
+    halted_ = halted;
+  }
+
  private:
   std::array<std::uint64_t, isa::kNumLogicalRegs> x_{};  // x_[0] stays 0
   std::array<std::uint64_t, isa::kNumLogicalRegs> f_{};

@@ -1,0 +1,51 @@
+#include "arch/checkpoint.hpp"
+
+#include "arch/arch_state.hpp"
+#include "arch/memory.hpp"
+#include "common/log.hpp"
+
+namespace erel::arch {
+
+void capture_memory(const SparseMemory& mem, Checkpoint& out) {
+  out.pages.clear();
+  for (const std::uint64_t base : mem.page_bases()) {
+    const std::uint8_t* data = mem.page_data(base);
+    EREL_CHECK(data != nullptr);
+    out.pages.push_back(
+        {base, std::vector<std::uint8_t>(data, data + SparseMemory::kPageBytes)});
+  }
+}
+
+void restore_memory(const Checkpoint& ckpt, SparseMemory& mem) {
+  mem.clear();
+  for (const Checkpoint::PageImage& page : ckpt.pages) {
+    EREL_CHECK(page.bytes.size() == SparseMemory::kPageBytes,
+               "malformed checkpoint page at base ", page.base);
+    mem.write_block(page.base, page.bytes);
+  }
+}
+
+Checkpoint capture(const ArchState& state) {
+  Checkpoint ckpt;
+  ckpt.pc = state.pc();
+  ckpt.icount = state.instructions_executed();
+  ckpt.halted = state.halted();
+  for (unsigned r = 0; r < isa::kNumLogicalRegs; ++r) {
+    ckpt.int_regs[r] = state.int_reg(r);
+    ckpt.fp_regs[r] = state.fp_reg(r);
+  }
+  capture_memory(state.memory(), ckpt);
+  return ckpt;
+}
+
+void restore(const Checkpoint& ckpt, ArchState& state) {
+  for (unsigned r = 0; r < isa::kNumLogicalRegs; ++r) {
+    state.set_int_reg(r, ckpt.int_regs[r]);
+    state.set_fp_reg(r, ckpt.fp_regs[r]);
+  }
+  restore_memory(ckpt, state.memory());
+  state.set_pc(ckpt.pc);
+  state.set_resume_point(ckpt.icount, ckpt.halted);
+}
+
+}  // namespace erel::arch

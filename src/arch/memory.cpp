@@ -1,5 +1,6 @@
 #include "arch/memory.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/log.hpp"
@@ -36,6 +37,19 @@ void SparseMemory::write(std::uint64_t addr, std::uint64_t value,
   EREL_CHECK(addr % size == 0, "unaligned write of ", size, " at ", addr);
   Page& page = touch_page(addr);
   std::memcpy(page.data() + addr % kPageBytes, &value, size);
+}
+
+std::vector<std::uint64_t> SparseMemory::page_bases() const {
+  std::vector<std::uint64_t> bases;
+  bases.reserve(pages_.size());
+  for (const auto& [index, page] : pages_) bases.push_back(index * kPageBytes);
+  std::sort(bases.begin(), bases.end());
+  return bases;
+}
+
+const std::uint8_t* SparseMemory::page_data(std::uint64_t addr) const {
+  const Page* page = find_page(addr);
+  return page == nullptr ? nullptr : page->data();
 }
 
 void SparseMemory::write_block(std::uint64_t addr,

@@ -9,6 +9,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 namespace erel::arch {
 
@@ -36,6 +37,19 @@ class SparseMemory {
 
   /// Number of pages materialized so far (observability for tests).
   [[nodiscard]] std::size_t resident_pages() const { return pages_.size(); }
+
+  // -- checkpoint support --------------------------------------------------
+  // Pages materialize only on writes, so the resident set is exactly the
+  // dirty set: enumerating it captures full memory state.
+
+  /// Base addresses of all resident pages, sorted ascending.
+  [[nodiscard]] std::vector<std::uint64_t> page_bases() const;
+
+  /// Raw bytes of the resident page containing `addr` (nullptr if absent).
+  [[nodiscard]] const std::uint8_t* page_data(std::uint64_t addr) const;
+
+  /// Drops every page (restore starts from a blank address space).
+  void clear() { pages_.clear(); }
 
  private:
   using Page = std::array<std::uint8_t, kPageBytes>;

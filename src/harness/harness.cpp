@@ -15,17 +15,23 @@ std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
   parallel_for(pool, specs.size(), [&](std::size_t i) {
     const RunSpec& spec = specs[i];
     const arch::Program program = workloads::assemble_workload(spec.workload);
-    sim::Simulator simulator(spec.config);
-    results[i] = RunResult{spec, simulator.run(program)};
+    if (spec.sampling) {
+      sim::SampledSimulator sampler(spec.config, *spec.sampling);
+      sim::SampledStats sampled = sampler.run(program);
+      results[i] = RunResult{spec, sampled.estimate, std::move(sampled)};
+    } else {
+      sim::Simulator simulator(spec.config);
+      results[i] = RunResult{spec, simulator.run(program), std::nullopt};
+    }
   });
   return results;
 }
 
 double harmonic_mean(std::span<const double> values) {
-  EREL_CHECK(!values.empty());
+  if (values.empty()) return 0.0;
   double inv_sum = 0;
   for (const double v : values) {
-    EREL_CHECK(v > 0, "harmonic mean of non-positive value");
+    if (v <= 0) return 0.0;  // limit of the harmonic mean as any value -> 0
     inv_sum += 1.0 / v;
   }
   return static_cast<double>(values.size()) / inv_sum;

@@ -3,24 +3,34 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/sampling.hpp"
 #include "sim/stats.hpp"
 
 namespace erel::harness {
 
 struct RunSpec {
-  std::string workload;   // registry name
+  /// Workload registry name, or "trace:<path>" to replay the program image
+  /// embedded in a recorded binary trace (src/trace/).
+  std::string workload;
   sim::SimConfig config;
   std::string tag;        // free-form label for table assembly
+
+  /// When set, the run uses checkpointed interval sampling instead of full
+  /// detailed simulation; `RunResult::stats` then holds the sampled
+  /// estimate and `RunResult::sampled` the per-sample detail.
+  std::optional<sim::SamplingConfig> sampling;
 };
 
 struct RunResult {
   RunSpec spec;
   sim::SimStats stats;
+  std::optional<sim::SampledStats> sampled;
 };
 
 /// Runs every spec (each on its own worker thread; simulations share no
@@ -29,6 +39,8 @@ std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
                                unsigned threads = 0);
 
 /// Harmonic mean, the aggregate the paper uses for IPC (Figures 10/11).
+/// Degenerate inputs are defined rather than fatal: an empty series yields
+/// 0, and any non-positive value collapses the mean to 0 (its limit).
 double harmonic_mean(std::span<const double> values);
 
 /// Builds a config with the paper's Table 2 defaults, the given policy and

@@ -38,6 +38,15 @@ class MemoryHierarchy {
   [[nodiscard]] const Cache& l1d() const { return l1d_; }
   [[nodiscard]] const Cache& l2() const { return l2_; }
 
+  /// Zeroes all cache counters, keeping contents. Used when a pre-warmed
+  /// hierarchy is handed to a measured run (sampled simulation): the tags
+  /// carry over, the warming accesses must not pollute the window's stats.
+  void reset_stats() {
+    l1i_.reset_stats();
+    l1d_.reset_stats();
+    l2_.reset_stats();
+  }
+
  private:
   unsigned data_access(std::uint64_t addr, bool is_write);
 

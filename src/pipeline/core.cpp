@@ -35,6 +35,34 @@ Core::Core(const sim::SimConfig& config, const arch::Program& program)
   if (config.flush_period != 0) next_flush_at_ = config.flush_period;
 }
 
+Core::Core(const sim::SimConfig& config, const arch::Program& program,
+           const arch::Checkpoint& checkpoint, const sim::WarmState* warm)
+    : Core(config, program) {
+  if (warm != nullptr) {
+    gshare_ = warm->gshare;
+    btb_ = warm->btb;
+    ras_ = warm->ras;
+    hierarchy_ = warm->hierarchy;
+    hierarchy_.reset_stats();
+  }
+  // The checkpoint's resident set is a superset of the program image (code
+  // and initialized data materialize their pages at load), so restoring it
+  // wholesale reproduces functional memory state exactly.
+  arch::restore_memory(checkpoint, mem_);
+  fetch_.set_pc(checkpoint.pc);
+  halted_ = checkpoint.halted;
+  // Seed the committed register values into the architectural versions the
+  // reset-state rename map points at (identity mapping; all marked written
+  // and ready at init, so write_value only installs the values).
+  for (unsigned r = 0; r < isa::kNumLogicalRegs; ++r) {
+    auto& irf = rename_.rf(RC::Int);
+    auto& frf = rename_.rf(RC::Fp);
+    irf.write_value(irf.iomt.get(r).phys, checkpoint.int_regs[r], 0);
+    frf.write_value(frf.iomt.get(r).phys, checkpoint.fp_regs[r], 0);
+  }
+  if (oracle_) arch::restore(checkpoint, *oracle_);
+}
+
 Core::~Core() = default;
 
 // --- PipelineHooks -----------------------------------------------------

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "arch/arch_state.hpp"
+#include "arch/checkpoint.hpp"
 #include "arch/memory.hpp"
 #include "arch/program.hpp"
 #include "branch/btb.hpp"
@@ -32,12 +33,25 @@
 #include "pipeline/ros.hpp"
 #include "sim/config.hpp"
 #include "sim/stats.hpp"
+#include "sim/warm_state.hpp"
 
 namespace erel::pipeline {
 
 class Core final : public core::PipelineHooks {
  public:
   Core(const sim::SimConfig& config, const arch::Program& program);
+
+  /// Resumes detailed simulation from an architectural checkpoint (sampled
+  /// simulation, saved fast-forwards): memory is restored to the checkpoint
+  /// image, fetch starts at its PC, the committed-register state is seeded
+  /// into the rename map's architectural versions, and the oracle (when
+  /// enabled) co-simulates from the same point. Without `warm`, caches and
+  /// predictors start cold; with it, they are copied from a functionally
+  /// warmed sim::WarmState (cache stats are reset so the measured window
+  /// counts only its own accesses).
+  Core(const sim::SimConfig& config, const arch::Program& program,
+       const arch::Checkpoint& checkpoint,
+       const sim::WarmState* warm = nullptr);
   ~Core() override;
 
   /// Advances one cycle.

@@ -1,0 +1,164 @@
+#include "sim/sampling.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "arch/arch_state.hpp"
+#include "arch/checkpoint.hpp"
+#include "common/log.hpp"
+#include "pipeline/core.hpp"
+#include "sim/warm_state.hpp"
+
+namespace erel::sim {
+
+namespace {
+
+/// Accumulates the counters of one detailed window into `total`.
+void accumulate(SimStats& total, const SimStats& window) {
+  total.cycles += window.cycles;
+  total.committed += window.committed;
+  total.branches.cond_branches += window.branches.cond_branches;
+  total.branches.cond_mispredicts += window.branches.cond_mispredicts;
+  total.branches.indirect_jumps += window.branches.indirect_jumps;
+  total.branches.indirect_mispredicts += window.branches.indirect_mispredicts;
+  total.stalls.ros_full += window.stalls.ros_full;
+  total.stalls.lsq_full += window.stalls.lsq_full;
+  total.stalls.checkpoints_full += window.stalls.checkpoints_full;
+  total.stalls.free_list_empty += window.stalls.free_list_empty;
+  total.icache_stall_cycles += window.icache_stall_cycles;
+  for (unsigned c = 0; c < 2; ++c)
+    total.squash_released[c] += window.squash_released[c];
+  auto add_cache = [](mem::CacheStats& a, const mem::CacheStats& b) {
+    a.accesses += b.accesses;
+    a.misses += b.misses;
+    a.writebacks += b.writebacks;
+  };
+  add_cache(total.l1i, window.l1i);
+  add_cache(total.l1d, window.l1d);
+  add_cache(total.l2, window.l2);
+}
+
+}  // namespace
+
+SampledSimulator::SampledSimulator(SimConfig config, SamplingConfig sampling)
+    : config_(std::move(config)), sampling_(sampling) {
+  EREL_CHECK(sampling_.detail > 0, "sampling window must measure something");
+  EREL_CHECK(sampling_.period > sampling_.warmup + sampling_.detail,
+             "sampling period ", sampling_.period,
+             " must exceed warmup+detail ",
+             sampling_.warmup + sampling_.detail);
+}
+
+SampledStats SampledSimulator::run(const arch::Program& program) const {
+  SampledStats out;
+  arch::ArchState master(program);
+  WarmState warm(config_);
+  std::uint64_t next_start = 0;
+
+  while (!master.halted()) {
+    if (sampling_.functional_warming) {
+      while (!master.halted() && master.instructions_executed() < next_start)
+        warm.observe(master.step());
+    } else if (master.instructions_executed() < next_start) {
+      master.run(next_start - master.instructions_executed());
+    }
+    if (master.halted()) break;
+
+    if (sampling_.max_samples != 0 &&
+        out.samples.size() >= sampling_.max_samples) {
+      master.run();  // finish functionally: exact total instruction count
+      break;
+    }
+
+    const arch::Checkpoint ckpt = arch::capture(master);
+
+    SimConfig cfg = config_;
+    cfg.max_instructions = sampling_.warmup + sampling_.detail;
+    cfg.trace = nullptr;  // per-window traces would interleave meaninglessly
+    pipeline::Core core(cfg, program, ckpt,
+                        sampling_.functional_warming ? &warm : nullptr);
+    while (!core.halted() && core.committed() < sampling_.warmup &&
+           core.cycle() < cfg.max_cycles)
+      core.tick();
+    const std::uint64_t warm_cycles = core.cycle();
+    const std::uint64_t warm_committed = core.committed();
+    const SimStats window = core.run();  // to warmup+detail, HALT or limits
+    accumulate(out.measured, window);
+    out.detailed_instructions += window.committed;
+
+    const std::uint64_t measured_insts = window.committed - warm_committed;
+    const std::uint64_t measured_cycles = window.cycles - warm_cycles;
+    if (measured_insts > 0) {
+      out.samples.push_back({ckpt.icount, measured_insts, measured_cycles});
+      out.measured_instructions += measured_insts;
+    }
+    next_start += sampling_.period;
+  }
+
+  out.total_instructions = master.instructions_executed();
+  out.estimate.committed = out.total_instructions;
+  out.estimate.halted = master.halted();
+
+  const std::size_t n = out.samples.size();
+  if (n > 0) {
+    double ipc_sum = 0.0;
+    double cpi_sum = 0.0;
+    for (const SampleRecord& s : out.samples) {
+      ipc_sum += s.ipc();
+      cpi_sum += s.cpi();
+    }
+    out.ipc_mean = ipc_sum / static_cast<double>(n);
+    out.cpi_mean = cpi_sum / static_cast<double>(n);
+    double ipc_var = 0.0;
+    double cpi_var = 0.0;
+    for (const SampleRecord& s : out.samples) {
+      const double di = s.ipc() - out.ipc_mean;
+      const double dc = s.cpi() - out.cpi_mean;
+      ipc_var += di * di;
+      cpi_var += dc * dc;
+    }
+    if (n > 1) {
+      out.ipc_stddev = std::sqrt(ipc_var / static_cast<double>(n - 1));
+      out.cpi_stddev = std::sqrt(cpi_var / static_cast<double>(n - 1));
+      out.cpi_stderr = out.cpi_stddev / std::sqrt(static_cast<double>(n));
+      // Delta method: the error bar is centered on estimate.ipc().
+      out.ipc_stderr = out.cpi_stderr / (out.cpi_mean * out.cpi_mean);
+      out.ipc_ci95 = 1.96 * out.ipc_stderr;
+    }
+    out.estimate.cycles = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(out.total_instructions) *
+                     out.cpi_mean));
+  } else if (out.measured.committed > 0) {
+    // Program ended inside the first warm-up window: no clean sample exists,
+    // so fall back to the CPI of whatever detailed work ran rather than
+    // reporting an IPC of zero.
+    const double fallback_cpi = static_cast<double>(out.measured.cycles) /
+                                static_cast<double>(out.measured.committed);
+    out.estimate.cycles = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(out.total_instructions) * fallback_cpi));
+  }
+  return out;
+}
+
+std::string format_sampled_stats(const SampledStats& stats) {
+  std::ostringstream os;
+  char buf[128];
+  os << "instructions (exact) " << stats.total_instructions << "\n";
+  os << "samples              " << stats.samples.size() << " ("
+     << stats.measured_instructions << " measured / "
+     << stats.detailed_instructions << " detailed insts)\n";
+  std::snprintf(buf, sizeof buf, "%.2f%%", 100.0 * stats.detail_fraction());
+  os << "detail fraction      " << buf << "\n";
+  if (stats.samples.size() > 1) {
+    std::snprintf(buf, sizeof buf, "%.4f +/- %.4f (95%% CI), stddev %.4f",
+                  stats.estimate.ipc(), stats.ipc_ci95, stats.ipc_stddev);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4f (n<2: no error bars)",
+                  stats.estimate.ipc());
+  }
+  os << "IPC estimate         " << buf << "\n";
+  os << "cycles (estimated)   " << stats.estimate.cycles << "\n";
+  return os.str();
+}
+
+}  // namespace erel::sim

@@ -1,0 +1,122 @@
+// Checkpointed interval sampling (SMARTS-style) over the detailed pipeline.
+//
+// A run is split into fixed instruction intervals. The functional oracle
+// fast-forwards (no pipeline, no caches) to each interval boundary, takes an
+// arch::Checkpoint, and a detailed core resumes from it: `warmup`
+// instructions prime the cold caches/predictors/register file, the next
+// `detail` instructions are measured, and per-interval CPI observations are
+// aggregated into a whole-program IPC estimate with error bars. Long
+// workloads pay detailed-simulation cost only on the measured fraction.
+//
+//   sim::SampledSimulator sampler(config, {.period = 200'000});
+//   sim::SampledStats s = sampler.run(program);
+//   // s.estimate.ipc(), s.ipc_stderr, s.samples, ...
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/program.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace erel::sim {
+
+struct SamplingConfig {
+  /// Instructions between consecutive sampling-unit starts. The first unit
+  /// starts at instruction 0. Must exceed `warmup + detail` for the fast-
+  /// forward to actually skip work.
+  std::uint64_t period = 100'000;
+
+  /// Detailed but unmeasured instructions run before each measurement to
+  /// warm caches, branch predictors and the register file.
+  std::uint64_t warmup = 2'000;
+
+  /// Measured detailed instructions per sampling unit.
+  std::uint64_t detail = 10'000;
+
+  /// Hard cap on sampling units (0 = sample every interval). When the cap
+  /// trips, the remainder of the program still fast-forwards functionally so
+  /// the total instruction count stays exact.
+  std::uint64_t max_samples = 0;
+
+  /// Functional warming (SMARTS): train branch predictors and caches during
+  /// the fast-forward so detailed windows start with live long-history
+  /// state. Costs ~2x on the fast-forward, removes most cold-start bias;
+  /// turn off only to measure that bias.
+  bool functional_warming = true;
+};
+
+/// One measured interval.
+struct SampleRecord {
+  std::uint64_t start_instruction = 0;  // icount at the checkpoint
+  std::uint64_t instructions = 0;       // measured commits
+  std::uint64_t cycles = 0;             // cycles spent on them
+
+  [[nodiscard]] double ipc() const {
+    return cycles == 0 ? 0.0 : static_cast<double>(instructions) / cycles;
+  }
+  [[nodiscard]] double cpi() const {
+    return instructions == 0 ? 0.0
+                             : static_cast<double>(cycles) / instructions;
+  }
+};
+
+struct SampledStats {
+  /// Whole-program estimate: `committed` is the exact dynamic instruction
+  /// count (the functional oracle executes every instruction), `cycles` is
+  /// extrapolated from the mean sampled CPI. Microarchitectural counters
+  /// (branches, stalls, caches, occupancy) are left zero — see `measured`.
+  SimStats estimate;
+
+  /// Raw sums of the detailed windows (warmup + measured), unscaled: what
+  /// the pipeline actually simulated.
+  SimStats measured;
+
+  std::vector<SampleRecord> samples;
+
+  // The whole-program estimator is the arithmetic mean of per-sample CPI
+  // (SMARTS); its dispersion propagates to IPC by the delta method
+  // (stderr_ipc = stderr_cpi / cpi_mean^2), so the IPC error bars are
+  // centered on estimate.ipc() == 1 / cpi_mean.
+  double cpi_mean = 0.0;
+  double cpi_stddev = 0.0;  // sample stddev (n-1) of per-sample CPI
+  double cpi_stderr = 0.0;
+  double ipc_mean = 0.0;    // arithmetic mean of per-sample IPC (descriptive)
+  double ipc_stddev = 0.0;  // dispersion of per-sample IPC (descriptive)
+  double ipc_stderr = 0.0;  // delta-method stderr of estimate.ipc()
+  double ipc_ci95 = 0.0;    // 1.96 * ipc_stderr
+
+  std::uint64_t total_instructions = 0;     // exact dynamic count
+  std::uint64_t measured_instructions = 0;  // sum over samples
+  std::uint64_t detailed_instructions = 0;  // incl. warmup
+
+  /// Fraction of the program that ran through the detailed pipeline.
+  [[nodiscard]] double detail_fraction() const {
+    return total_instructions == 0
+               ? 0.0
+               : static_cast<double>(detailed_instructions) /
+                     static_cast<double>(total_instructions);
+  }
+};
+
+class SampledSimulator {
+ public:
+  SampledSimulator(SimConfig config, SamplingConfig sampling);
+
+  /// Runs `program` to completion: functional fast-forward between interval
+  /// boundaries, detailed warm-up + measurement at each.
+  [[nodiscard]] SampledStats run(const arch::Program& program) const;
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] const SamplingConfig& sampling() const { return sampling_; }
+
+ private:
+  SimConfig config_;
+  SamplingConfig sampling_;
+};
+
+/// Human-readable sampled-run report (estimate, error bars, speedup inputs).
+std::string format_sampled_stats(const SampledStats& stats);
+
+}  // namespace erel::sim

@@ -1,0 +1,36 @@
+// Functional warming (the SMARTS ingredient that makes short detailed
+// windows unbiased): while the sampler fast-forwards between intervals, the
+// branch predictors and cache hierarchy are updated architecturally — one
+// in-order predict/train per branch, one access per fetch/load/store — so a
+// detailed window resumed from a checkpoint starts with the long-lived
+// microarchitectural state (2^18-entry gshare, 1 MB L2) already populated.
+// Only the short-lived pipeline state (ROS, rename map, LSQ) still needs the
+// per-sample detailed warm-up.
+#pragma once
+
+#include "arch/arch_state.hpp"
+#include "branch/btb.hpp"
+#include "branch/gshare.hpp"
+#include "branch/ras.hpp"
+#include "mem/hierarchy.hpp"
+#include "sim/config.hpp"
+
+namespace erel::sim {
+
+struct WarmState {
+  explicit WarmState(const SimConfig& config)
+      : gshare(config.ghr_bits), hierarchy(config.memory) {}
+
+  /// Observes one architecturally-executed instruction: trains the branch
+  /// predictors exactly as an in-order front end would (speculative history
+  /// shift, then repair on the spot since the outcome is known) and touches
+  /// the caches for the fetch and any data access.
+  void observe(const arch::StepInfo& info);
+
+  branch::Gshare gshare;
+  branch::Btb btb;
+  branch::Ras ras;
+  mem::MemoryHierarchy hierarchy;
+};
+
+}  // namespace erel::sim

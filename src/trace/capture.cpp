@@ -1,0 +1,43 @@
+#include "trace/capture.hpp"
+
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+
+namespace erel::trace {
+
+sim::SimStats capture(const arch::Program& program, sim::SimConfig config,
+                      const std::string& path) {
+  TraceWriter writer(path, program);
+  std::function<void(const sim::SimConfig::TraceEvent&)> user_hook =
+      std::move(config.trace);
+  config.trace = [&writer, &user_hook](const sim::SimConfig::TraceEvent& ev) {
+    writer.append(ev);
+    if (user_hook) user_hook(ev);
+  };
+  const sim::SimStats stats = sim::Simulator(config).run(program);
+  writer.finish();
+  return stats;
+}
+
+arch::Program replay_program(const std::string& path) {
+  return TraceReader(path).program();
+}
+
+ReplaySummary summarize(const std::string& path) {
+  TraceReader reader(path);
+  ReplaySummary summary;
+  while (auto ev = reader.next()) {
+    ++summary.instructions;
+    summary.cycles = ev->commit_cycle;
+    summary.total_dispatch_to_commit += ev->commit_cycle - ev->dispatch_cycle;
+  }
+  summary.ipc = summary.cycles == 0
+                    ? 0.0
+                    : static_cast<double>(summary.instructions) / summary.cycles;
+  return summary;
+}
+
+}  // namespace erel::trace

@@ -1,0 +1,45 @@
+// One-call trace capture and replay helpers on top of TraceWriter/
+// TraceReader.
+//
+//   trace::capture(program, config, "li.ertr");      // record a run
+//   arch::Program p = trace::replay_program("li.ertr");  // workload family
+//   trace::ReplaySummary s = trace::summarize("li.ertr");
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arch/program.hpp"
+#include "sim/config.hpp"
+#include "sim/stats.hpp"
+
+namespace erel::trace {
+
+/// Runs `program` under `config` recording every committed instruction to
+/// `path` (the program image is embedded so the trace is replayable). Any
+/// user trace hook already present in `config` still fires.
+sim::SimStats capture(const arch::Program& program, sim::SimConfig config,
+                      const std::string& path);
+
+/// The embedded program image of a recorded trace; aborts if the trace was
+/// captured without one.
+arch::Program replay_program(const std::string& path);
+
+/// Timing summary recomputed from a trace's records alone (no simulation).
+struct ReplaySummary {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;  // last commit cycle observed
+  double ipc = 0.0;
+
+  std::uint64_t total_dispatch_to_commit = 0;  // summed per-instruction
+
+  [[nodiscard]] double avg_latency() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(total_dispatch_to_commit) / instructions;
+  }
+};
+
+ReplaySummary summarize(const std::string& path);
+
+}  // namespace erel::trace

@@ -1,0 +1,70 @@
+#include "trace/checkpoint_io.hpp"
+
+#include <fstream>
+
+#include "arch/memory.hpp"
+#include "common/log.hpp"
+#include "trace/format.hpp"
+
+namespace erel::trace {
+
+void save_checkpoint(const std::string& path, const arch::Checkpoint& ckpt) {
+  std::vector<std::uint8_t> buf;
+  buf.insert(buf.end(), kCheckpointMagic.begin(), kCheckpointMagic.end());
+  put_fixed32(buf, kFormatVersion);
+  put_uvarint(buf, ckpt.pc);
+  put_uvarint(buf, ckpt.icount);
+  buf.push_back(ckpt.halted ? 1 : 0);
+  for (const std::uint64_t v : ckpt.int_regs) put_uvarint(buf, v);
+  for (const std::uint64_t v : ckpt.fp_regs) put_uvarint(buf, v);
+  put_uvarint(buf, ckpt.pages.size());
+  for (const arch::Checkpoint::PageImage& page : ckpt.pages) {
+    EREL_CHECK(page.bytes.size() == arch::SparseMemory::kPageBytes);
+    put_uvarint(buf, page.base);
+    buf.insert(buf.end(), page.bytes.begin(), page.bytes.end());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  EREL_CHECK(out.is_open(), "cannot open checkpoint file for writing: ", path);
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  out.close();
+  EREL_CHECK(out.good(), "checkpoint file write failed: ", path);
+}
+
+arch::Checkpoint load_checkpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EREL_CHECK(in.is_open(), "cannot open checkpoint file: ", path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> buf(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(buf.data()), size);
+  EREL_CHECK(in.good(), "checkpoint file read failed: ", path);
+
+  ByteCursor c{buf.data(), buf.data() + buf.size()};
+  std::array<std::uint8_t, 4> magic{};
+  c.raw(magic.data(), magic.size());
+  EREL_CHECK(c.ok && magic == kCheckpointMagic, "not a checkpoint file: ",
+             path);
+  const std::uint32_t version = c.fixed32();
+  EREL_CHECK(c.ok && version == kFormatVersion,
+             "unsupported checkpoint version ", version, " in ", path);
+
+  arch::Checkpoint ckpt;
+  ckpt.pc = c.uvarint();
+  ckpt.icount = c.uvarint();
+  ckpt.halted = c.u8() != 0;
+  for (std::uint64_t& v : ckpt.int_regs) v = c.uvarint();
+  for (std::uint64_t& v : ckpt.fp_regs) v = c.uvarint();
+  const std::uint64_t page_count = c.uvarint();
+  for (std::uint64_t i = 0; c.ok && i < page_count; ++i) {
+    arch::Checkpoint::PageImage page;
+    page.base = c.uvarint();
+    page.bytes.resize(arch::SparseMemory::kPageBytes);
+    c.raw(page.bytes.data(), page.bytes.size());
+    ckpt.pages.push_back(std::move(page));
+  }
+  EREL_CHECK(c.ok, "truncated checkpoint file: ", path);
+  return ckpt;
+}
+
+}  // namespace erel::trace

@@ -1,0 +1,17 @@
+// Binary serialization for arch::Checkpoint ('ERCK' container, version 1).
+// Long functional fast-forwards are paid once, saved, and reused: a saved
+// checkpoint plus the program is everything a detailed run needs to resume
+// mid-program (pipeline::Core's checkpoint constructor).
+#pragma once
+
+#include <string>
+
+#include "arch/checkpoint.hpp"
+
+namespace erel::trace {
+
+void save_checkpoint(const std::string& path, const arch::Checkpoint& ckpt);
+
+arch::Checkpoint load_checkpoint(const std::string& path);
+
+}  // namespace erel::trace

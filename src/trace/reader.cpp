@@ -1,0 +1,107 @@
+#include "trace/reader.hpp"
+
+#include <fstream>
+
+#include "common/log.hpp"
+
+namespace erel::trace {
+
+TraceReader::TraceReader(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EREL_CHECK(in.is_open(), "cannot open trace file: ", path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  buf_.resize(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(buf_.data()), size);
+  EREL_CHECK(in.good(), "trace file read failed: ", path);
+
+  ByteCursor c{buf_.data(), buf_.data() + buf_.size()};
+  std::array<std::uint8_t, 4> magic{};
+  c.raw(magic.data(), magic.size());
+  EREL_CHECK(c.ok && magic == kTraceMagic, "not a trace file: ", path);
+  version_ = c.fixed32();
+  EREL_CHECK(c.ok && version_ == kFormatVersion,
+             "unsupported trace format version ", version_, " in ", path);
+  has_program_ = c.u8() != 0;
+  if (has_program_) {
+    program_.entry = c.uvarint();
+    program_.code_base = c.uvarint();
+    const std::uint64_t code_count = c.uvarint();
+    EREL_CHECK(c.ok && code_count <= c.remaining() / 4,
+               "truncated code section in ", path);
+    program_.code.resize(code_count);
+    for (std::uint64_t i = 0; i < code_count; ++i)
+      program_.code[i] = c.fixed32();
+    const std::uint64_t seg_count = c.uvarint();
+    for (std::uint64_t s = 0; c.ok && s < seg_count; ++s) {
+      arch::DataSegment seg;
+      seg.base = c.uvarint();
+      const std::uint64_t bytes = c.uvarint();
+      EREL_CHECK(c.ok && bytes <= c.remaining(), "truncated data segment in ",
+                 path);
+      seg.bytes.resize(bytes);
+      c.raw(seg.bytes.data(), bytes);
+      program_.data.push_back(std::move(seg));
+    }
+    const std::uint64_t sym_count = c.uvarint();
+    for (std::uint64_t s = 0; c.ok && s < sym_count; ++s) {
+      const std::uint64_t len = c.uvarint();
+      EREL_CHECK(c.ok && len <= c.remaining(), "truncated symbol table in ",
+                 path);
+      std::string name(len, '\0');
+      c.raw(name.data(), len);
+      program_.symbols[name] = c.uvarint();
+    }
+  }
+  num_records_ = c.fixed64();
+  EREL_CHECK(c.ok, "truncated trace header in ", path);
+  records_offset_ = static_cast<std::size_t>(c.p - buf_.data());
+  // A capture that died before TraceWriter::finish() leaves the header's
+  // count placeholder at 0 with record bytes still following — reject it
+  // rather than presenting an apparently-valid empty trace.
+  EREL_CHECK(num_records_ != 0 || c.remaining() == 0,
+             "unfinished trace (record count never patched): ", path);
+  rewind();
+}
+
+const arch::Program& TraceReader::program() const {
+  EREL_CHECK(has_program_, "trace has no embedded program");
+  return program_;
+}
+
+void TraceReader::rewind() {
+  cursor_ = ByteCursor{buf_.data() + records_offset_,
+                       buf_.data() + buf_.size()};
+  records_read_ = 0;
+  prev_ = sim::SimConfig::TraceEvent{};
+}
+
+std::optional<sim::SimConfig::TraceEvent> TraceReader::next() {
+  if (records_read_ >= num_records_) {
+    EREL_CHECK(cursor_.remaining() == 0,
+               "trailing bytes after final trace record");
+    return std::nullopt;
+  }
+  sim::SimConfig::TraceEvent ev;
+  ev.seq = prev_.seq + static_cast<std::uint64_t>(cursor_.svarint());
+  ev.pc = prev_.pc + static_cast<std::uint64_t>(cursor_.svarint());
+  ev.encoding = static_cast<std::uint32_t>(cursor_.uvarint());
+  ev.dispatch_cycle =
+      prev_.dispatch_cycle + static_cast<std::uint64_t>(cursor_.svarint());
+  ev.issue_cycle = ev.dispatch_cycle + cursor_.uvarint();
+  ev.complete_cycle = ev.issue_cycle + cursor_.uvarint();
+  ev.commit_cycle = ev.complete_cycle + cursor_.uvarint();
+  EREL_CHECK(cursor_.ok, "truncated trace record ", records_read_);
+  prev_ = ev;
+  ++records_read_;
+  return ev;
+}
+
+std::vector<sim::SimConfig::TraceEvent> TraceReader::read_all() {
+  std::vector<sim::SimConfig::TraceEvent> events;
+  events.reserve(static_cast<std::size_t>(num_records_ - records_read_));
+  while (auto ev = next()) events.push_back(*ev);
+  return events;
+}
+
+}  // namespace erel::trace

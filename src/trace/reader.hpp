@@ -1,0 +1,55 @@
+// Reader for the version-1 binary trace format. Loads the file into memory,
+// decodes the header (and embedded program image, when present) eagerly, and
+// streams records on demand:
+//
+//   trace::TraceReader reader(path);
+//   while (auto ev = reader.next()) { ... }
+//
+// Malformed or truncated input aborts with a diagnostic (EREL_CHECK) —
+// trace files are experiment artifacts, not untrusted input.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/program.hpp"
+#include "sim/config.hpp"
+#include "trace/format.hpp"
+
+namespace erel::trace {
+
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+
+  [[nodiscard]] std::uint32_t version() const { return version_; }
+  [[nodiscard]] std::uint64_t num_records() const { return num_records_; }
+  [[nodiscard]] bool has_program() const { return has_program_; }
+
+  /// The embedded program image; aborts unless has_program().
+  [[nodiscard]] const arch::Program& program() const;
+
+  /// Decodes the next record; std::nullopt after the last one.
+  std::optional<sim::SimConfig::TraceEvent> next();
+
+  /// Resets the record stream to the beginning.
+  void rewind();
+
+  /// All remaining records (convenience for tests and small traces).
+  std::vector<sim::SimConfig::TraceEvent> read_all();
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t records_offset_ = 0;  // byte offset of the first record
+  ByteCursor cursor_{};
+  std::uint32_t version_ = 0;
+  std::uint64_t num_records_ = 0;
+  std::uint64_t records_read_ = 0;
+  bool has_program_ = false;
+  arch::Program program_;
+  sim::SimConfig::TraceEvent prev_{};
+};
+
+}  // namespace erel::trace

@@ -1,0 +1,91 @@
+#include "trace/writer.hpp"
+
+#include "common/log.hpp"
+#include "trace/format.hpp"
+
+namespace erel::trace {
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  EREL_CHECK(out_.is_open(), "cannot open trace file for writing: ", path);
+  write_header(nullptr);
+}
+
+TraceWriter::TraceWriter(const std::string& path, const arch::Program& program)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  EREL_CHECK(out_.is_open(), "cannot open trace file for writing: ", path);
+  write_header(&program);
+}
+
+TraceWriter::~TraceWriter() { finish(); }
+
+void TraceWriter::write_header(const arch::Program* program) {
+  std::vector<std::uint8_t> buf;
+  buf.insert(buf.end(), kTraceMagic.begin(), kTraceMagic.end());
+  put_fixed32(buf, kFormatVersion);
+  buf.push_back(program != nullptr ? 1 : 0);
+  if (program != nullptr) {
+    put_uvarint(buf, program->entry);
+    put_uvarint(buf, program->code_base);
+    put_uvarint(buf, program->code.size());
+    for (const std::uint32_t word : program->code) put_fixed32(buf, word);
+    put_uvarint(buf, program->data.size());
+    for (const arch::DataSegment& seg : program->data) {
+      put_uvarint(buf, seg.base);
+      put_uvarint(buf, seg.bytes.size());
+      buf.insert(buf.end(), seg.bytes.begin(), seg.bytes.end());
+    }
+    put_uvarint(buf, program->symbols.size());
+    for (const auto& [name, addr] : program->symbols) {
+      put_uvarint(buf, name.size());
+      buf.insert(buf.end(), name.begin(), name.end());
+      put_uvarint(buf, addr);
+    }
+  }
+  out_.write(reinterpret_cast<const char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size()));
+  count_pos_ = out_.tellp();
+  std::vector<std::uint8_t> count_bytes;
+  put_fixed64(count_bytes, 0);  // patched by finish()
+  out_.write(reinterpret_cast<const char*>(count_bytes.data()), 8);
+}
+
+void TraceWriter::append(const sim::SimConfig::TraceEvent& event) {
+  EREL_CHECK(!finished_, "append after finish");
+  // Per-instruction stage stamps are strictly increasing (the pipeline
+  // dispatches before it issues, issues before it completes, ...); encode
+  // them as unsigned gaps so corruption shows up as a decode failure.
+  EREL_CHECK(event.dispatch_cycle < event.issue_cycle &&
+                 event.issue_cycle < event.complete_cycle &&
+                 event.complete_cycle < event.commit_cycle,
+             "non-monotone stage cycles in trace event at pc ", event.pc);
+  std::uint8_t buf[70];  // 7 varints, <= 10 bytes each
+  std::size_t n = 0;
+  n += put_uvarint(buf + n,
+                   zigzag(static_cast<std::int64_t>(event.seq - prev_.seq)));
+  n += put_uvarint(buf + n,
+                   zigzag(static_cast<std::int64_t>(event.pc - prev_.pc)));
+  n += put_uvarint(buf + n, event.encoding);
+  n += put_uvarint(buf + n, zigzag(static_cast<std::int64_t>(
+                                event.dispatch_cycle - prev_.dispatch_cycle)));
+  n += put_uvarint(buf + n, event.issue_cycle - event.dispatch_cycle);
+  n += put_uvarint(buf + n, event.complete_cycle - event.issue_cycle);
+  n += put_uvarint(buf + n, event.commit_cycle - event.complete_cycle);
+  out_.write(reinterpret_cast<const char*>(buf),
+             static_cast<std::streamsize>(n));
+  prev_ = event;
+  ++count_;
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.seekp(count_pos_);
+  std::vector<std::uint8_t> count_bytes;
+  put_fixed64(count_bytes, count_);
+  out_.write(reinterpret_cast<const char*>(count_bytes.data()), 8);
+  out_.close();
+  EREL_CHECK(out_.good(), "trace file write failed");
+}
+
+}  // namespace erel::trace

@@ -1,0 +1,60 @@
+// Streaming writer for the version-1 binary trace format (trace/format.hpp).
+//
+//   trace::TraceWriter writer(path, program);   // program embeds for replay
+//   config.trace = writer.hook();
+//   sim::Simulator(config).run(program);
+//   writer.finish();
+//
+// Records are delta-encoded against the previous committed instruction and
+// streamed straight to disk; the record count is patched into the header at
+// finish() so capture never buffers the whole trace in memory.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "arch/program.hpp"
+#include "sim/config.hpp"
+
+namespace erel::trace {
+
+class TraceWriter {
+ public:
+  /// Opens `path` for writing (truncates). Aborts if the file cannot be
+  /// created. Without a program the trace is timing-only (not replayable).
+  explicit TraceWriter(const std::string& path);
+  TraceWriter(const std::string& path, const arch::Program& program);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Appends one committed-instruction record. Events must arrive in commit
+  /// order (the order the pipeline's trace hook produces them in).
+  void append(const sim::SimConfig::TraceEvent& event);
+
+  /// Patches the record count into the header and closes the file. Called
+  /// automatically by the destructor; idempotent.
+  void finish();
+
+  [[nodiscard]] std::uint64_t records_written() const { return count_; }
+
+  /// A SimConfig::trace hook bound to this writer. The writer must outlive
+  /// the simulation it is recording.
+  [[nodiscard]] std::function<void(const sim::SimConfig::TraceEvent&)> hook() {
+    return [this](const sim::SimConfig::TraceEvent& ev) { append(ev); };
+  }
+
+ private:
+  void write_header(const arch::Program* program);
+
+  std::ofstream out_;
+  std::streampos count_pos_{};
+  std::uint64_t count_ = 0;
+  sim::SimConfig::TraceEvent prev_{};
+  bool finished_ = false;
+};
+
+}  // namespace erel::trace

@@ -2,6 +2,7 @@
 
 #include "asmkit/assembler.hpp"
 #include "common/log.hpp"
+#include "trace/capture.hpp"
 
 namespace erel::workloads {
 
@@ -51,7 +52,13 @@ const Workload& workload(const std::string& name) {
   EREL_FATAL("unknown workload '", name, "'");
 }
 
+bool is_trace_workload(const std::string& name) {
+  return std::string_view(name).starts_with(kTracePrefix);
+}
+
 arch::Program assemble_workload(const std::string& name) {
+  if (is_trace_workload(name))
+    return trace::replay_program(name.substr(kTracePrefix.size()));
   return asmkit::assemble(workload(name).source);
 }
 

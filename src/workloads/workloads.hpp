@@ -40,7 +40,15 @@ const std::vector<Workload>& registry();
 /// Lookup by name; aborts on unknown names.
 const Workload& workload(const std::string& name);
 
-/// Assembles a workload (convenience wrapper).
+/// Name scheme for the trace-replay workload family: "trace:<path>" resolves
+/// to the program image embedded in a recorded binary trace (src/trace/),
+/// so recorded runs re-simulate under any configuration without their
+/// original assembly source.
+inline constexpr std::string_view kTracePrefix = "trace:";
+bool is_trace_workload(const std::string& name);
+
+/// Assembles a workload: registry kernels by name, recorded traces via the
+/// "trace:<path>" scheme.
 arch::Program assemble_workload(const std::string& name);
 
 /// Integer kernel generators (scale >= 1; default scales in workloads.cpp).

@@ -45,15 +45,29 @@ TEST(HarmonicMean, DominatedBySmallest) {
   EXPECT_LT(harness::harmonic_mean(v), 0.4);
 }
 
+TEST(HarmonicMean, EmptyInputYieldsZero) {
+  EXPECT_DOUBLE_EQ(harness::harmonic_mean({}), 0.0);
+}
+
+TEST(HarmonicMean, ZeroValueCollapsesToZero) {
+  const double v[] = {1.0, 0.0, 4.0};
+  EXPECT_DOUBLE_EQ(harness::harmonic_mean(v), 0.0);
+}
+
+TEST(HarmonicMean, NegativeValueCollapsesToZero) {
+  const double v[] = {1.0, -2.0};
+  EXPECT_DOUBLE_EQ(harness::harmonic_mean(v), 0.0);
+}
+
 TEST(Harness, RunAllPreservesOrderAndRunsInParallel) {
   std::vector<harness::RunSpec> specs;
   specs.push_back({"li",
                    harness::experiment_config(core::PolicyKind::Conventional,
                                               48),
-                   "conv"});
+                   "conv", {}});
   specs.push_back(
       {"li", harness::experiment_config(core::PolicyKind::Extended, 48),
-       "ext"});
+       "ext", {}});
   const auto results = harness::run_all(specs, 2);
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].spec.tag, "conv");

@@ -1,0 +1,128 @@
+// Checkpointed interval sampling: the sampled IPC estimate tracks the full
+// detailed simulation, instruction counts stay exact, error bars populate,
+// and the harness runs sampled specs transparently.
+#include <gtest/gtest.h>
+
+#include "harness/harness.hpp"
+#include "sim/sampling.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace erel {
+namespace {
+
+sim::SimConfig test_config() {
+  sim::SimConfig config;
+  config.policy = core::PolicyKind::Extended;
+  config.phys_int = config.phys_fp = 64;
+  config.check_oracle = false;
+  return config;
+}
+
+sim::SamplingConfig test_sampling() {
+  sim::SamplingConfig s;
+  s.period = 20'000;
+  s.warmup = 2'000;
+  s.detail = 5'000;
+  return s;
+}
+
+TEST(Sampling, SampledIpcMatchesFullDetailedRun) {
+  const arch::Program program = workloads::assemble_workload("li");
+  const sim::SimConfig config = test_config();
+  const sim::SimStats full = sim::Simulator(config).run(program);
+  ASSERT_TRUE(full.halted);
+
+  const sim::SampledStats sampled =
+      sim::SampledSimulator(config, test_sampling()).run(program);
+  ASSERT_GT(sampled.samples.size(), 1u);
+  // The functional master executes every instruction (the detailed commit
+  // count excludes the non-retiring HALT, the functional count includes it).
+  EXPECT_EQ(sampled.total_instructions, full.committed + 1);
+  EXPECT_TRUE(sampled.estimate.halted);
+  EXPECT_NEAR(sampled.estimate.ipc(), full.ipc(), 0.10 * full.ipc());
+  EXPECT_LT(sampled.detail_fraction(), 0.5);
+}
+
+TEST(Sampling, ErrorBarsArePopulated) {
+  const arch::Program program = workloads::assemble_workload("li");
+  const sim::SampledStats sampled =
+      sim::SampledSimulator(test_config(), test_sampling()).run(program);
+  ASSERT_GT(sampled.samples.size(), 1u);
+  EXPECT_GT(sampled.ipc_mean, 0.0);
+  EXPECT_GT(sampled.cpi_mean, 0.0);
+  EXPECT_GE(sampled.ipc_stddev, 0.0);
+  EXPECT_GT(sampled.ipc_stderr, 0.0);
+  EXPECT_DOUBLE_EQ(sampled.ipc_ci95, 1.96 * sampled.ipc_stderr);
+  EXPECT_EQ(sampled.measured_instructions,
+            [&] {
+              std::uint64_t sum = 0;
+              for (const auto& s : sampled.samples) sum += s.instructions;
+              return sum;
+            }());
+  const std::string report = sim::format_sampled_stats(sampled);
+  EXPECT_NE(report.find("IPC estimate"), std::string::npos);
+}
+
+TEST(Sampling, MaxSamplesCapStillCountsEveryInstruction) {
+  const arch::Program program = workloads::assemble_workload("li");
+  sim::SamplingConfig s = test_sampling();
+  s.max_samples = 2;
+  const sim::SampledStats capped =
+      sim::SampledSimulator(test_config(), s).run(program);
+  EXPECT_LE(capped.samples.size(), 2u);
+
+  const sim::SampledStats uncapped =
+      sim::SampledSimulator(test_config(), test_sampling()).run(program);
+  EXPECT_EQ(capped.total_instructions, uncapped.total_instructions);
+}
+
+TEST(Sampling, MeasuredWindowCountersAccumulate) {
+  const arch::Program program = workloads::assemble_workload("li");
+  const sim::SampledStats sampled =
+      sim::SampledSimulator(test_config(), test_sampling()).run(program);
+  EXPECT_EQ(sampled.measured.committed, sampled.detailed_instructions);
+  EXPECT_GT(sampled.measured.cycles, 0u);
+  EXPECT_GT(sampled.measured.branches.cond_branches, 0u);
+  EXPECT_GT(sampled.measured.l1d.accesses, 0u);
+}
+
+TEST(Sampling, HarnessRunsSampledSpecs) {
+  harness::RunSpec full_spec{
+      "li", harness::experiment_config(core::PolicyKind::Extended, 64),
+      "full", std::nullopt};
+  harness::RunSpec sampled_spec = full_spec;
+  sampled_spec.tag = "sampled";
+  sampled_spec.sampling = test_sampling();
+  const auto results = harness::run_all({full_spec, sampled_spec}, 2);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].sampled.has_value());
+  ASSERT_TRUE(results[1].sampled.has_value());
+  EXPECT_EQ(results[1].stats.committed,
+            results[1].sampled->estimate.committed);
+  EXPECT_NEAR(results[1].stats.ipc(), results[0].stats.ipc(),
+              0.10 * results[0].stats.ipc());
+}
+
+TEST(Sampling, OracleCheckedSamplingWorks) {
+  // check_oracle on: every committed instruction in every detailed window is
+  // co-validated against the restored functional state.
+  const arch::Program program = workloads::assemble_workload("li");
+  sim::SimConfig config = test_config();
+  config.check_oracle = true;
+  const sim::SampledStats sampled =
+      sim::SampledSimulator(config, test_sampling()).run(program);
+  EXPECT_GT(sampled.samples.size(), 0u);
+  EXPECT_TRUE(sampled.estimate.halted);
+}
+
+TEST(SamplingDeathTest, PeriodMustExceedWindow) {
+  sim::SamplingConfig s;
+  s.period = 1000;
+  s.warmup = 800;
+  s.detail = 300;
+  EXPECT_DEATH(sim::SampledSimulator(test_config(), s), "period");
+}
+
+}  // namespace
+}  // namespace erel

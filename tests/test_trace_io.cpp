@@ -1,0 +1,176 @@
+// Binary trace format: write -> read round-trip is bit-exact, the embedded
+// program image reproduces the original, and the "trace:<path>" workload
+// scheme re-simulates a recorded run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "asmkit/assembler.hpp"
+#include "sim/simulator.hpp"
+#include "trace/capture.hpp"
+#include "trace/reader.hpp"
+#include "trace/writer.hpp"
+#include "workloads/workloads.hpp"
+
+namespace erel {
+namespace {
+
+using sim::SimConfig;
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::vector<char> file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void expect_events_equal(const std::vector<SimConfig::TraceEvent>& a,
+                         const std::vector<SimConfig::TraceEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seq, b[i].seq) << "record " << i;
+    EXPECT_EQ(a[i].pc, b[i].pc) << "record " << i;
+    EXPECT_EQ(a[i].encoding, b[i].encoding) << "record " << i;
+    EXPECT_EQ(a[i].dispatch_cycle, b[i].dispatch_cycle) << "record " << i;
+    EXPECT_EQ(a[i].issue_cycle, b[i].issue_cycle) << "record " << i;
+    EXPECT_EQ(a[i].complete_cycle, b[i].complete_cycle) << "record " << i;
+    EXPECT_EQ(a[i].commit_cycle, b[i].commit_cycle) << "record " << i;
+  }
+}
+
+TEST(TraceIo, RoundTripIsBitExact) {
+  const std::string path = temp_path("roundtrip.ertr");
+  const arch::Program program = workloads::assemble_workload("li");
+  SimConfig config;
+  config.phys_int = config.phys_fp = 48;
+  std::vector<SimConfig::TraceEvent> captured;
+  config.trace = [&captured](const SimConfig::TraceEvent& ev) {
+    captured.push_back(ev);
+  };
+  const sim::SimStats stats = trace::capture(program, config, path);
+  ASSERT_GT(stats.committed, 0u);
+  ASSERT_EQ(captured.size(), stats.committed);  // user hook still fires
+
+  trace::TraceReader reader(path);
+  EXPECT_EQ(reader.version(), trace::kFormatVersion);
+  EXPECT_EQ(reader.num_records(), stats.committed);
+  const auto decoded = reader.read_all();
+  expect_events_equal(captured, decoded);
+
+  // Re-encoding the decoded records reproduces the file byte for byte.
+  const std::string path2 = temp_path("roundtrip2.ertr");
+  {
+    trace::TraceWriter rewriter(path2, reader.program());
+    for (const auto& ev : decoded) rewriter.append(ev);
+  }
+  EXPECT_EQ(file_bytes(path), file_bytes(path2));
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(TraceIo, EmbeddedProgramImageRoundTrips) {
+  const std::string path = temp_path("program.ertr");
+  const arch::Program program = workloads::assemble_workload("compress");
+  SimConfig config;
+  config.check_oracle = false;
+  trace::capture(program, config, path);
+
+  trace::TraceReader reader(path);
+  ASSERT_TRUE(reader.has_program());
+  const arch::Program& restored = reader.program();
+  EXPECT_EQ(restored.entry, program.entry);
+  EXPECT_EQ(restored.code_base, program.code_base);
+  EXPECT_EQ(restored.code, program.code);
+  EXPECT_EQ(restored.symbols, program.symbols);
+  ASSERT_EQ(restored.data.size(), program.data.size());
+  for (std::size_t i = 0; i < program.data.size(); ++i) {
+    EXPECT_EQ(restored.data[i].base, program.data[i].base);
+    EXPECT_EQ(restored.data[i].bytes, program.data[i].bytes);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TimingOnlyTraceHasNoProgram) {
+  const std::string path = temp_path("timing_only.ertr");
+  {
+    trace::TraceWriter writer(path);
+    SimConfig::TraceEvent ev;
+    ev.seq = 7;
+    ev.pc = 0x10000;
+    ev.encoding = 0xdeadbeef;
+    ev.dispatch_cycle = 1;
+    ev.issue_cycle = 2;
+    ev.complete_cycle = 5;
+    ev.commit_cycle = 9;
+    writer.append(ev);
+  }
+  trace::TraceReader reader(path);
+  EXPECT_FALSE(reader.has_program());
+  ASSERT_EQ(reader.num_records(), 1u);
+  const auto ev = reader.next();
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->seq, 7u);
+  EXPECT_EQ(ev->pc, 0x10000u);
+  EXPECT_EQ(ev->encoding, 0xdeadbeefu);
+  EXPECT_EQ(ev->commit_cycle, 9u);
+  EXPECT_FALSE(reader.next().has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RewindRestartsTheStream) {
+  const std::string path = temp_path("rewind.ertr");
+  const arch::Program program = asmkit::assemble(R"(
+main:
+  li r1, 10
+loop:
+  addi r1, r1, -1
+  bnez r1, loop
+  halt
+)");
+  SimConfig config;
+  trace::capture(program, config, path);
+  trace::TraceReader reader(path);
+  const auto first = reader.read_all();
+  reader.rewind();
+  const auto second = reader.read_all();
+  expect_events_equal(first, second);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, SummarizeMatchesSimulatorStats) {
+  const std::string path = temp_path("summary.ertr");
+  const arch::Program program = workloads::assemble_workload("li");
+  SimConfig config;
+  config.check_oracle = false;
+  const sim::SimStats stats = trace::capture(program, config, path);
+  const trace::ReplaySummary summary = trace::summarize(path);
+  EXPECT_EQ(summary.instructions, stats.committed);
+  EXPECT_LE(summary.cycles, stats.cycles);
+  EXPECT_NEAR(summary.ipc, stats.ipc(), 0.05 * stats.ipc());
+  EXPECT_GT(summary.avg_latency(), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, TraceWorkloadSchemeReplaysRecordedRun) {
+  const std::string path = temp_path("replay_workload.ertr");
+  const arch::Program program = workloads::assemble_workload("li");
+  SimConfig config;
+  config.phys_int = config.phys_fp = 48;
+  const sim::SimStats original = trace::capture(program, config, path);
+
+  const std::string name = std::string(workloads::kTracePrefix) + path;
+  ASSERT_TRUE(workloads::is_trace_workload(name));
+  EXPECT_FALSE(workloads::is_trace_workload("li"));
+  const arch::Program replayed = workloads::assemble_workload(name);
+  const sim::SimStats rerun = sim::Simulator(config).run(replayed);
+  EXPECT_EQ(rerun.committed, original.committed);
+  EXPECT_EQ(rerun.cycles, original.cycles);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace erel
