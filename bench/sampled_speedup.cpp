@@ -1,12 +1,20 @@
 // Acceptance bench for checkpointed sampled simulation: on a long-running
 // looped kernel (>= 10M committed instructions), interval sampling with
 // functional warming must reproduce the full detailed-simulation IPC within
-// 3% while running at least 5x faster (wall clock).
+// 3% while running at least 5x faster (wall clock), and sharding the
+// sampling units across worker threads must (a) reproduce the serial
+// SampleRecords bit-for-bit and (b) on a machine with >= 4 cores, deliver a
+// further >= 2x wall-clock speedup over serial sampling.
 //
-//   $ ./sampled_speedup [sweeps]   # default 2400 go sweeps (~10.6M insts)
+//   $ ./sampled_speedup [sweeps] [threads] [placement]
+//     sweeps     go-kernel board sweeps        (default 2400, ~10.6M insts)
+//     threads    sharded-run worker threads    (default min(hw, 8))
+//     placement  periodic|random|stratified    (default stratified)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "asmkit/assembler.hpp"
 #include "common/table.hpp"
@@ -28,6 +36,13 @@ int main(int argc, char** argv) {
 
   const unsigned sweeps =
       argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 2400;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned threads =
+      argc > 2 ? static_cast<unsigned>(std::max(1, std::atoi(argv[2])))
+               : std::min(hw, 8u);
+  const sim::Placement placement =
+      argc > 3 ? sim::parse_placement(argv[3]) : sim::Placement::kStratified;
+
   std::printf("assembling go(%u) — board scanning, data-dependent branches\n",
               sweeps);
   const arch::Program program =
@@ -44,49 +59,90 @@ int main(int argc, char** argv) {
   const double full_seconds = seconds_since(t0);
 
   sim::SamplingConfig sampling;
-  sampling.period = 1'000'000;
+  sampling.period = 500'000;
   sampling.warmup = 20'000;
-  sampling.detail = 30'000;
+  sampling.detail = 50'000;
+  sampling.placement = placement;
+  sampling.seed = 42;
+  sampling.threads = 1;
   std::printf(
-      "sampled simulation (period=%llu, warmup=%llu, detail=%llu, "
-      "functional warming on)...\n",
+      "serial sampled simulation (period=%llu, warmup=%llu, detail=%llu, "
+      "placement=%s, functional warming on)...\n",
       static_cast<unsigned long long>(sampling.period),
       static_cast<unsigned long long>(sampling.warmup),
-      static_cast<unsigned long long>(sampling.detail));
+      static_cast<unsigned long long>(sampling.detail),
+      std::string(sim::placement_name(placement)).c_str());
   t0 = std::chrono::steady_clock::now();
-  const sim::SampledStats sampled =
+  const sim::SampledStats serial =
       sim::SampledSimulator(config, sampling).run(program);
-  const double sampled_seconds = seconds_since(t0);
+  const double serial_seconds = seconds_since(t0);
+
+  std::printf("sharded sampled simulation (%u threads)...\n", threads);
+  sampling.threads = threads;
+  t0 = std::chrono::steady_clock::now();
+  const sim::SampledStats sharded =
+      sim::SampledSimulator(config, sampling).run(program);
+  const double sharded_seconds = seconds_since(t0);
 
   const double ipc_err =
       full.ipc() == 0.0 ? 0.0
-                        : (sampled.estimate.ipc() - full.ipc()) / full.ipc();
+                        : (serial.estimate.ipc() - full.ipc()) / full.ipc();
   const double speedup =
-      sampled_seconds == 0.0 ? 0.0 : full_seconds / sampled_seconds;
+      serial_seconds == 0.0 ? 0.0 : full_seconds / serial_seconds;
+  const double shard_speedup =
+      sharded_seconds == 0.0 ? 0.0 : serial_seconds / sharded_seconds;
 
-  std::printf("\n=== sampled vs. full detailed simulation ===\n");
-  TextTable t({"metric", "full", "sampled"});
+  std::printf("\n=== full vs. serial vs. sharded sampled simulation ===\n");
+  TextTable t({"metric", "full", "serial sampled", "sharded sampled"});
   t.add_row({"instructions", std::to_string(full.committed),
-             std::to_string(sampled.total_instructions)});
+             std::to_string(serial.total_instructions),
+             std::to_string(sharded.total_instructions)});
   t.add_row({"IPC", TextTable::num(full.ipc(), 4),
-             TextTable::num(sampled.estimate.ipc(), 4)});
+             TextTable::num(serial.estimate.ipc(), 4),
+             TextTable::num(sharded.estimate.ipc(), 4)});
+  t.add_row({"IPC 95% CI", "-", TextTable::num(serial.ipc_ci95, 4),
+             TextTable::num(sharded.ipc_ci95, 4)});
   t.add_row({"wall seconds", TextTable::num(full_seconds, 2),
-             TextTable::num(sampled_seconds, 2)});
-  t.add_row({"samples", "-", std::to_string(sampled.samples.size())});
+             TextTable::num(serial_seconds, 2),
+             TextTable::num(sharded_seconds, 2)});
+  t.add_row({"samples", "-", std::to_string(serial.samples.size()),
+             std::to_string(sharded.samples.size())});
   t.add_row({"detail fraction", "100%",
-             TextTable::pct(sampled.detail_fraction(), 1)});
+             TextTable::pct(serial.detail_fraction(), 1),
+             TextTable::pct(sharded.detail_fraction(), 1)});
   std::printf("%s\n", t.to_string().c_str());
-  std::printf("%s", sim::format_sampled_stats(sampled).c_str());
+  std::printf("%s", sim::format_sampled_stats(sharded).c_str());
 
   const bool ipc_ok = ipc_err > -0.03 && ipc_err < 0.03;
   const bool speed_ok = speedup >= 5.0;
   const bool long_enough = full.committed >= 10'000'000;
-  std::printf("\nIPC error    %+.2f%%  [%s] (tolerance 3%%)\n",
+  // Bit-for-bit determinism: sharding must only reorder work, never results.
+  const bool deterministic = serial.samples == sharded.samples &&
+                             serial.ipc_ci95 == sharded.ipc_ci95 &&
+                             serial.estimate.cycles == sharded.estimate.cycles;
+  // The thread-scaling floor only binds where the hardware can express it.
+  const bool scaling_applies = threads >= 4 && hw >= 4;
+  const bool scaling_ok = !scaling_applies || shard_speedup >= 2.0;
+
+  std::printf("\nIPC error       %+.2f%%  [%s] (tolerance 3%%)\n",
               100.0 * ipc_err, ipc_ok ? "PASS" : "FAIL");
-  std::printf("speedup      %.1fx  [%s] (floor 5x)\n", speedup,
-              speed_ok ? "PASS" : "FAIL");
-  std::printf("run length   %llu committed  [%s] (floor 10M)\n",
+  std::printf("sampled speedup %.1fx  [%s] (floor 5x over full detail)\n",
+              speedup, speed_ok ? "PASS" : "FAIL");
+  std::printf("run length      %llu committed  [%s] (floor 10M)\n",
               static_cast<unsigned long long>(full.committed),
               long_enough ? "PASS" : "FAIL");
-  return ipc_ok && speed_ok && long_enough ? 0 : 1;
+  std::printf("determinism     serial == sharded  [%s] (bit-for-bit)\n",
+              deterministic ? "PASS" : "FAIL");
+  if (scaling_applies) {
+    std::printf("shard speedup   %.1fx on %u threads  [%s] (floor 2x)\n",
+                shard_speedup, threads, scaling_ok ? "PASS" : "FAIL");
+  } else {
+    std::printf(
+        "shard speedup   %.1fx on %u threads  [SKIP] (< 4 threads or < 4 "
+        "cores: floor not binding)\n",
+        shard_speedup, threads);
+  }
+  return ipc_ok && speed_ok && long_enough && deterministic && scaling_ok
+             ? 0
+             : 1;
 }

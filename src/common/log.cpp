@@ -12,4 +12,16 @@ void fatal(std::string_view file, int line, const std::string& msg) {
   std::abort();
 }
 
+void warn(std::string_view file, int line, const std::string& msg) {
+  std::string out = "[erel] ";
+  out.append(file);
+  out += ':';
+  out += std::to_string(line);
+  out += ": ";
+  out += msg;
+  out += '\n';
+  std::fwrite(out.data(), 1, out.size(), stderr);
+  std::fflush(stderr);
+}
+
 }  // namespace erel

@@ -15,6 +15,10 @@ namespace erel {
 /// Aborts the process after printing `msg` with source location.
 [[noreturn]] void fatal(std::string_view file, int line, const std::string& msg);
 
+/// Prints a non-fatal diagnostic to stderr (one atomic write per message, so
+/// warnings from pool workers do not interleave mid-line).
+void warn(std::string_view file, int line, const std::string& msg);
+
 namespace detail {
 // Builds the failure message lazily only on the failing path.
 template <typename... Ts>
@@ -39,3 +43,7 @@ std::string format_parts(Ts&&... parts) {
 #define EREL_FATAL(...)                                                    \
   ::erel::fatal(__FILE__, __LINE__,                                        \
                 ::erel::detail::format_parts("fatal: ", ##__VA_ARGS__))
+
+#define EREL_WARN(...)                                                     \
+  ::erel::warn(__FILE__, __LINE__,                                         \
+               ::erel::detail::format_parts("warning: ", ##__VA_ARGS__))

@@ -23,7 +23,11 @@ struct RunSpec {
 
   /// When set, the run uses checkpointed interval sampling instead of full
   /// detailed simulation; `RunResult::stats` then holds the sampled
-  /// estimate and `RunResult::sampled` the per-sample detail.
+  /// estimate and `RunResult::sampled` the per-sample detail. The whole
+  /// SamplingConfig rides along: placement mode + seed, `target_ci`
+  /// confidence-driven stopping, and `threads` (keep the default of 1 when
+  /// a sweep already saturates the harness pool with one spec per worker;
+  /// raise it to shard a single long workload's units instead).
   std::optional<sim::SamplingConfig> sampling;
 };
 

@@ -172,9 +172,9 @@ void Core::phase_dispatch() {
       rename_.note_branch_decoded(seq);
       pending_branches_.push_back(seq);
     }
-    fetch_.pop_front();
+    fetch_.pop_front();  // frees the buffer slot `fi`/`inst` point into
     ++dispatched;
-    if (inst.is_halt()) return;  // nothing younger dispatches past a HALT
+    if (e.inst.is_halt()) return;  // nothing younger dispatches past a HALT
   }
 }
 

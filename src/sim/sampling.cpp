@@ -1,11 +1,19 @@
 #include "sim/sampling.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <optional>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 #include "arch/arch_state.hpp"
 #include "arch/checkpoint.hpp"
 #include "common/log.hpp"
+#include "common/thread_pool.hpp"
 #include "pipeline/core.hpp"
 #include "sim/warm_state.hpp"
 
@@ -38,7 +46,91 @@ void accumulate(SimStats& total, const SimStats& window) {
   add_cache(total.l2, window.l2);
 }
 
+/// splitmix64 of (seed, k): a stateless per-interval random draw, so a
+/// unit's placement depends only on the seed and its interval index — not
+/// on evaluation order or thread count.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t k) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (k + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// One planned sampling unit: everything a worker needs to run its detailed
+/// window independently of every other unit.
+struct SamplingUnit {
+  std::uint64_t interval = 0;  // plan order, the deterministic merge key
+  arch::Checkpoint ckpt;
+  std::unique_ptr<const WarmState> warm;  // null when warming is off
+};
+
+/// Outcome of one detailed window.
+struct UnitResult {
+  SimStats window;  // warmup + measured, as simulated
+  std::uint64_t measured_insts = 0;
+  std::uint64_t measured_cycles = 0;
+  bool degenerate = false;  // committed work but zero measured cycles
+};
+
+/// Units are measured in batches of this size when confidence-driven
+/// stopping is active; the CI is re-evaluated between batches. Constant (not
+/// tied to the thread count) so the measured-unit set is identical at any
+/// parallelism.
+constexpr std::size_t kCiBatch = 8;
+
+/// Mean, sample stddev (n-1) and standard error of per-sample CPI — the
+/// single source of the estimator the delta method maps to IPC error bars
+/// (stderr_ipc = stderr_cpi / mean^2), shared by the stopping rule and the
+/// final report so they can never target different quantities.
+struct CpiMoments {
+  double mean = 0.0;
+  double stddev = 0.0;  // 0 when n < 2
+  double se = 0.0;      // 0 when n < 2
+};
+
+CpiMoments cpi_moments(const std::vector<SampleRecord>& samples) {
+  CpiMoments m;
+  const std::size_t n = samples.size();
+  if (n == 0) return m;
+  double sum = 0.0;
+  for (const SampleRecord& s : samples) sum += s.cpi();
+  m.mean = sum / static_cast<double>(n);
+  if (n < 2) return m;
+  double var = 0.0;
+  for (const SampleRecord& s : samples) {
+    const double d = s.cpi() - m.mean;
+    var += d * d;
+  }
+  m.stddev = std::sqrt(var / static_cast<double>(n - 1));
+  m.se = m.stddev / std::sqrt(static_cast<double>(n));
+  return m;
+}
+
+double ci_halfwidth(const std::vector<SampleRecord>& samples) {
+  const CpiMoments cpi = cpi_moments(samples);
+  if (samples.size() < 2 || cpi.mean <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  return 1.96 * cpi.se / (cpi.mean * cpi.mean);
+}
+
 }  // namespace
+
+std::string_view placement_name(Placement placement) {
+  switch (placement) {
+    case Placement::kPeriodic: return "periodic";
+    case Placement::kRandom: return "random";
+    case Placement::kStratified: return "stratified";
+  }
+  EREL_FATAL("invalid Placement ", static_cast<int>(placement));
+}
+
+Placement parse_placement(std::string_view name) {
+  if (name == "periodic") return Placement::kPeriodic;
+  if (name == "random") return Placement::kRandom;
+  if (name == "stratified") return Placement::kStratified;
+  EREL_FATAL("unknown placement mode '", name,
+             "' (expected periodic|random|stratified)");
+}
 
 SampledSimulator::SampledSimulator(SimConfig config, SamplingConfig sampling)
     : config_(std::move(config)), sampling_(sampling) {
@@ -47,80 +139,187 @@ SampledSimulator::SampledSimulator(SimConfig config, SamplingConfig sampling)
              "sampling period ", sampling_.period,
              " must exceed warmup+detail ",
              sampling_.warmup + sampling_.detail);
+  EREL_CHECK(sampling_.target_ci >= 0.0, "target_ci must be non-negative");
 }
 
 SampledStats SampledSimulator::run(const arch::Program& program) const {
+  const std::uint64_t window = sampling_.warmup + sampling_.detail;
+  const std::uint64_t slack = sampling_.period - window;  // ctor: period>window
+
+  // Start of unit k. Periodic: exactly k*period. Stratified: uniform within
+  // [k*period, (k+1)*period - window], so consecutive windows can never
+  // overlap. Random: previous start plus a uniform gap from
+  // [window, 2*period - window] (mean period), accumulated by the caller.
+  const auto unit_start = [&](std::uint64_t k,
+                              std::uint64_t prev_start) -> std::uint64_t {
+    switch (sampling_.placement) {
+      case Placement::kPeriodic:
+        return k * sampling_.period;
+      case Placement::kStratified:
+        return k * sampling_.period + mix(sampling_.seed, k) % (slack + 1);
+      case Placement::kRandom:
+        if (k == 0) return mix(sampling_.seed, 0) % (slack + 1);
+        return prev_start + window + mix(sampling_.seed, k) % (2 * slack + 1);
+    }
+    EREL_FATAL("invalid Placement");
+  };
+
+  // --- planning pass ------------------------------------------------------
+  // One functional sweep over the whole program: fast-forward (warming the
+  // predictors and caches when enabled) to each unit start, capture the
+  // architectural checkpoint plus a snapshot of the warm state, and keep
+  // going. After this pass the exact dynamic instruction count is known and
+  // every unit can be measured independently, in any order, on any thread.
   SampledStats out;
-  arch::ArchState master(program);
-  WarmState warm(config_);
-  std::uint64_t next_start = 0;
-
-  while (!master.halted()) {
-    if (sampling_.functional_warming) {
-      while (!master.halted() && master.instructions_executed() < next_start)
-        warm.observe(master.step());
-    } else if (master.instructions_executed() < next_start) {
-      master.run(next_start - master.instructions_executed());
+  std::vector<SamplingUnit> units;
+  {
+    arch::ArchState master(program);
+    WarmState warm(config_);
+    std::uint64_t start = 0;
+    for (std::uint64_t k = 0; !master.halted(); ++k) {
+      start = unit_start(k, start);
+      if (sampling_.functional_warming) {
+        while (!master.halted() && master.instructions_executed() < start)
+          warm.observe(master.step());
+      } else if (master.instructions_executed() < start) {
+        master.run(start - master.instructions_executed());
+      }
+      if (master.halted()) break;
+      if (sampling_.max_samples != 0 &&
+          units.size() >= sampling_.max_samples) {
+        // Cap reached: finish the program functionally so the total count
+        // stays exact — still through the warming loop when warming is on,
+        // so the warm state never develops a cold gap relative to the
+        // instruction stream.
+        if (sampling_.functional_warming) {
+          while (!master.halted()) warm.observe(master.step());
+        } else {
+          master.run();
+        }
+        break;
+      }
+      SamplingUnit unit;
+      unit.interval = k;
+      unit.ckpt = arch::capture(master);
+      if (sampling_.functional_warming)
+        unit.warm = std::make_unique<const WarmState>(warm);
+      units.push_back(std::move(unit));
     }
-    if (master.halted()) break;
+    out.total_instructions = master.instructions_executed();
+    out.estimate.committed = out.total_instructions;
+    out.estimate.halted = master.halted();
+  }
+  out.units_planned = units.size();
 
-    if (sampling_.max_samples != 0 &&
-        out.samples.size() >= sampling_.max_samples) {
-      master.run();  // finish functionally: exact total instruction count
-      break;
-    }
-
-    const arch::Checkpoint ckpt = arch::capture(master);
-
+  // --- measurement --------------------------------------------------------
+  // Each unit replays from its checkpoint through a fresh detailed core:
+  // `warmup` commits prime the pipeline, then the measured span runs to
+  // warmup+detail (or HALT, or a run-control limit).
+  const auto run_unit = [&](const SamplingUnit& unit) -> UnitResult {
     SimConfig cfg = config_;
-    cfg.max_instructions = sampling_.warmup + sampling_.detail;
+    cfg.max_instructions = window;
     cfg.trace = nullptr;  // per-window traces would interleave meaninglessly
-    pipeline::Core core(cfg, program, ckpt,
-                        sampling_.functional_warming ? &warm : nullptr);
+    pipeline::Core core(cfg, program, unit.ckpt, unit.warm.get());
     while (!core.halted() && core.committed() < sampling_.warmup &&
            core.cycle() < cfg.max_cycles)
       core.tick();
     const std::uint64_t warm_cycles = core.cycle();
     const std::uint64_t warm_committed = core.committed();
-    const SimStats window = core.run();  // to warmup+detail, HALT or limits
-    accumulate(out.measured, window);
-    out.detailed_instructions += window.committed;
-
-    const std::uint64_t measured_insts = window.committed - warm_committed;
-    const std::uint64_t measured_cycles = window.cycles - warm_cycles;
-    if (measured_insts > 0) {
-      out.samples.push_back({ckpt.icount, measured_insts, measured_cycles});
-      out.measured_instructions += measured_insts;
+    UnitResult r;
+    r.window = core.run();
+    r.measured_insts = r.window.committed - warm_committed;
+    r.measured_cycles = r.window.cycles - warm_cycles;
+    if (r.measured_insts > 0 && r.measured_cycles == 0) {
+      // The warm-up loop ran into cfg.max_cycles: everything this window
+      // committed was committed at the cycle limit, so its IPC would be
+      // infinite. Keep the raw counters, drop the sample.
+      r.degenerate = true;
+      EREL_WARN("sampling unit at instruction ", unit.ckpt.icount,
+                " hit max_cycles during warm-up (", r.measured_insts,
+                " insts, 0 measured cycles): sample dropped");
     }
-    next_start += sampling_.period;
+    return r;
+  };
+
+  // Measurement order: interval order normally; a seeded shuffle under
+  // confidence-driven stopping, so every batch is an unbiased spread over
+  // the whole program rather than its first intervals.
+  std::vector<std::size_t> order(units.size());
+  std::iota(order.begin(), order.end(), 0);
+  const bool ci_stopping = sampling_.target_ci > 0.0;
+  if (ci_stopping) {
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const std::size_t j =
+          mix(sampling_.seed ^ 0xa5a5a5a5a5a5a5a5ull, i) % i;
+      std::swap(order[i - 1], order[j]);
+    }
   }
 
-  out.total_instructions = master.instructions_executed();
-  out.estimate.committed = out.total_instructions;
-  out.estimate.halted = master.halted();
+  unsigned threads = sampling_.threads;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  std::optional<ThreadPool> pool;
+  if (threads > 1 && units.size() > 1) pool.emplace(threads);
+
+  std::vector<std::optional<UnitResult>> results(units.size());
+  std::vector<SampleRecord> scheduled_samples;  // CI bookkeeping only
+  std::size_t next = 0;
+  while (next < order.size()) {
+    const std::size_t batch_end =
+        ci_stopping ? std::min(next + kCiBatch, order.size()) : order.size();
+    const auto measure = [&](std::size_t i) {
+      results[order[i]] = run_unit(units[order[i]]);
+    };
+    if (pool) {
+      parallel_for(*pool, batch_end - next,
+                   [&](std::size_t i) { measure(next + i); });
+    } else {
+      for (std::size_t i = next; i < batch_end; ++i) measure(i);
+    }
+    for (std::size_t i = next; i < batch_end; ++i) {
+      const UnitResult& r = *results[order[i]];
+      if (r.measured_insts > 0 && !r.degenerate)
+        scheduled_samples.push_back({units[order[i]].ckpt.icount,
+                                     r.measured_insts, r.measured_cycles});
+    }
+    next = batch_end;
+    if (ci_stopping && ci_halfwidth(scheduled_samples) <= sampling_.target_ci)
+      break;
+  }
+
+  // --- deterministic merge ------------------------------------------------
+  // Fold measured units back in interval order: the output is a pure
+  // function of (config, program, seed), never of scheduling.
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    if (!results[u]) continue;  // unscheduled (CI target met early)
+    const UnitResult& r = *results[u];
+    accumulate(out.measured, r.window);
+    out.detailed_instructions += r.window.committed;
+    if (r.degenerate) {
+      ++out.degenerate_windows;
+    } else if (r.measured_insts > 0) {
+      out.samples.push_back(
+          {units[u].ckpt.icount, r.measured_insts, r.measured_cycles});
+      out.measured_instructions += r.measured_insts;
+    }
+  }
 
   const std::size_t n = out.samples.size();
   if (n > 0) {
+    const CpiMoments cpi = cpi_moments(out.samples);
+    out.cpi_mean = cpi.mean;
+    out.cpi_stddev = cpi.stddev;
+    out.cpi_stderr = cpi.se;
     double ipc_sum = 0.0;
-    double cpi_sum = 0.0;
-    for (const SampleRecord& s : out.samples) {
-      ipc_sum += s.ipc();
-      cpi_sum += s.cpi();
-    }
+    for (const SampleRecord& s : out.samples) ipc_sum += s.ipc();
     out.ipc_mean = ipc_sum / static_cast<double>(n);
-    out.cpi_mean = cpi_sum / static_cast<double>(n);
     double ipc_var = 0.0;
-    double cpi_var = 0.0;
     for (const SampleRecord& s : out.samples) {
       const double di = s.ipc() - out.ipc_mean;
-      const double dc = s.cpi() - out.cpi_mean;
       ipc_var += di * di;
-      cpi_var += dc * dc;
     }
     if (n > 1) {
       out.ipc_stddev = std::sqrt(ipc_var / static_cast<double>(n - 1));
-      out.cpi_stddev = std::sqrt(cpi_var / static_cast<double>(n - 1));
-      out.cpi_stderr = out.cpi_stddev / std::sqrt(static_cast<double>(n));
       // Delta method: the error bar is centered on estimate.ipc().
       out.ipc_stderr = out.cpi_stderr / (out.cpi_mean * out.cpi_mean);
       out.ipc_ci95 = 1.96 * out.ipc_stderr;
@@ -144,9 +343,13 @@ std::string format_sampled_stats(const SampledStats& stats) {
   std::ostringstream os;
   char buf[128];
   os << "instructions (exact) " << stats.total_instructions << "\n";
-  os << "samples              " << stats.samples.size() << " ("
-     << stats.measured_instructions << " measured / "
-     << stats.detailed_instructions << " detailed insts)\n";
+  os << "samples              " << stats.samples.size() << " of "
+     << stats.units_planned << " planned (" << stats.measured_instructions
+     << " measured / " << stats.detailed_instructions
+     << " detailed insts)\n";
+  if (stats.degenerate_windows > 0)
+    os << "degenerate windows   " << stats.degenerate_windows
+       << " (dropped)\n";
   std::snprintf(buf, sizeof buf, "%.2f%%", 100.0 * stats.detail_fraction());
   os << "detail fraction      " << buf << "\n";
   if (stats.samples.size() > 1) {

@@ -1,12 +1,20 @@
 // Checkpointed interval sampling (SMARTS-style) over the detailed pipeline.
 //
-// A run is split into fixed instruction intervals. The functional oracle
-// fast-forwards (no pipeline, no caches) to each interval boundary, takes an
-// arch::Checkpoint, and a detailed core resumes from it: `warmup`
-// instructions prime the cold caches/predictors/register file, the next
-// `detail` instructions are measured, and per-interval CPI observations are
-// aggregated into a whole-program IPC estimate with error bars. Long
-// workloads pay detailed-simulation cost only on the measured fraction.
+// A run is split into instruction intervals. A single planning pass
+// fast-forwards the functional oracle through the whole program (training
+// predictors and caches when functional warming is on), dropping an
+// arch::Checkpoint plus a WarmState snapshot at the start of every sampling
+// unit. Measurement then replays each unit independently from its snapshot —
+// `warmup` detailed-but-unmeasured instructions prime the short-lived
+// pipeline state, the next `detail` instructions are measured — so units can
+// run serially or sharded across a thread pool with bit-identical results:
+// per-unit SampleRecords are merged in interval order regardless of which
+// worker produced them.
+//
+// Unit placement within each interval is configurable (periodic starts can
+// alias with program phases), and instead of measuring every planned unit
+// the sampler can keep scheduling units only until the 95% confidence
+// interval on IPC is tight enough (`target_ci`).
 //
 //   sim::SampledSimulator sampler(config, {.period = 200'000});
 //   sim::SampledStats s = sampler.run(program);
@@ -14,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "arch/program.hpp"
@@ -22,10 +31,35 @@
 
 namespace erel::sim {
 
+/// Where each sampling unit starts inside its interval.
+enum class Placement {
+  /// Unit k starts exactly at k * period (the SMARTS default). Vulnerable
+  /// to aliasing when the program has phase behavior with a period that
+  /// divides the sampling period.
+  kPeriodic,
+
+  /// Seeded random gaps: consecutive unit starts are separated by a uniform
+  /// draw from [window, 2*period - window] (mean gap == period), so no
+  /// program phase can stay synchronized with the sampler.
+  kRandom,
+
+  /// Stratified (systematic random) sampling: exactly one unit per
+  /// [k*period, (k+1)*period) interval, uniformly placed within it. Keeps
+  /// periodic sampling's even coverage while breaking phase alignment; this
+  /// is the recommended mode for production sweeps.
+  kStratified,
+};
+
+/// "periodic" / "random" / "stratified" (for reports and CLI flags).
+std::string_view placement_name(Placement placement);
+
+/// Inverse of placement_name; aborts on an unknown name.
+Placement parse_placement(std::string_view name);
+
 struct SamplingConfig {
-  /// Instructions between consecutive sampling-unit starts. The first unit
-  /// starts at instruction 0. Must exceed `warmup + detail` for the fast-
-  /// forward to actually skip work.
+  /// Instructions between consecutive sampling-unit starts (exactly, for
+  /// `kPeriodic`; in expectation, for the randomized modes). Must exceed
+  /// `warmup + detail` for the fast-forward to actually skip work.
   std::uint64_t period = 100'000;
 
   /// Detailed but unmeasured instructions run before each measurement to
@@ -35,9 +69,9 @@ struct SamplingConfig {
   /// Measured detailed instructions per sampling unit.
   std::uint64_t detail = 10'000;
 
-  /// Hard cap on sampling units (0 = sample every interval). When the cap
-  /// trips, the remainder of the program still fast-forwards functionally so
-  /// the total instruction count stays exact.
+  /// Hard cap on sampling units (0 = sample every interval). The planning
+  /// pass always fast-forwards the remainder of the program, so the total
+  /// instruction count stays exact whether or not the cap trips.
   std::uint64_t max_samples = 0;
 
   /// Functional warming (SMARTS): train branch predictors and caches during
@@ -45,6 +79,25 @@ struct SamplingConfig {
   /// state. Costs ~2x on the fast-forward, removes most cold-start bias;
   /// turn off only to measure that bias.
   bool functional_warming = true;
+
+  /// Interval placement mode (see Placement).
+  Placement placement = Placement::kPeriodic;
+
+  /// Seed for the randomized placement modes and for the unit-scheduling
+  /// shuffle used by confidence-driven stopping. The same seed reproduces
+  /// the same SampleRecords bit-for-bit at any thread count.
+  std::uint64_t seed = 0;
+
+  /// Confidence-driven stopping: when > 0, units are measured in seeded
+  /// random batches and measurement stops as soon as the 95% CI half-width
+  /// on the IPC estimate (delta method) drops to `target_ci` or below —
+  /// `max_samples` (when set) stays a hard cap. 0 = measure every planned
+  /// unit.
+  double target_ci = 0.0;
+
+  /// Worker threads for the measurement phase. 1 = serial (default);
+  /// 0 = hardware concurrency. Results are identical at any value.
+  unsigned threads = 1;
 };
 
 /// One measured interval.
@@ -52,6 +105,8 @@ struct SampleRecord {
   std::uint64_t start_instruction = 0;  // icount at the checkpoint
   std::uint64_t instructions = 0;       // measured commits
   std::uint64_t cycles = 0;             // cycles spent on them
+
+  bool operator==(const SampleRecord&) const = default;
 
   [[nodiscard]] double ipc() const {
     return cycles == 0 ? 0.0 : static_cast<double>(instructions) / cycles;
@@ -73,6 +128,8 @@ struct SampledStats {
   /// the pipeline actually simulated.
   SimStats measured;
 
+  /// Measured intervals in interval order (deterministic at any thread
+  /// count).
   std::vector<SampleRecord> samples;
 
   // The whole-program estimator is the arithmetic mean of per-sample CPI
@@ -91,6 +148,15 @@ struct SampledStats {
   std::uint64_t measured_instructions = 0;  // sum over samples
   std::uint64_t detailed_instructions = 0;  // incl. warmup
 
+  /// Units the planning pass captured checkpoints for; with
+  /// confidence-driven stopping, `samples.size()` can be smaller.
+  std::uint64_t units_planned = 0;
+
+  /// Measurement windows dropped because they recorded committed
+  /// instructions but zero measured cycles (warm-up ran into a run-control
+  /// limit); they would otherwise poison the IPC mean with infinities.
+  std::uint64_t degenerate_windows = 0;
+
   /// Fraction of the program that ran through the detailed pipeline.
   [[nodiscard]] double detail_fraction() const {
     return total_instructions == 0
@@ -104,8 +170,9 @@ class SampledSimulator {
  public:
   SampledSimulator(SimConfig config, SamplingConfig sampling);
 
-  /// Runs `program` to completion: functional fast-forward between interval
-  /// boundaries, detailed warm-up + measurement at each.
+  /// Runs `program` to completion: one functional planning pass over the
+  /// whole program (checkpoints + warm-state snapshots at unit starts),
+  /// then detailed warm-up + measurement per unit, serial or sharded.
   [[nodiscard]] SampledStats run(const arch::Program& program) const;
 
   [[nodiscard]] const SimConfig& config() const { return config_; }

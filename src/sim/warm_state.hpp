@@ -17,6 +17,9 @@
 
 namespace erel::sim {
 
+// WarmState is a plain value type: the sampler's planning pass copies it at
+// every unit start, and each copy is the frozen warm microarchitectural
+// state a worker thread seeds its detailed core from (see sim/sampling.cpp).
 struct WarmState {
   explicit WarmState(const SimConfig& config)
       : gshare(config.ghr_bits), hierarchy(config.memory) {}

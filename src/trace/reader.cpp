@@ -1,67 +1,157 @@
 #include "trace/reader.hpp"
 
-#include <fstream>
+#include <algorithm>
+#include <cstring>
 
 #include "common/log.hpp"
 
 namespace erel::trace {
 
-TraceReader::TraceReader(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  EREL_CHECK(in.is_open(), "cannot open trace file: ", path);
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  buf_.resize(static_cast<std::size_t>(size));
-  in.read(reinterpret_cast<char*>(buf_.data()), size);
-  EREL_CHECK(in.good(), "trace file read failed: ", path);
+// --- FileCursor -----------------------------------------------------------
 
-  ByteCursor c{buf_.data(), buf_.data() + buf_.size()};
+FileCursor::FileCursor(const std::string& path)
+    : in_(path, std::ios::binary | std::ios::ate) {
+  if (!in_.is_open()) return;
+  size_ = static_cast<std::uint64_t>(in_.tellg());
+  in_.seekg(0);
+  buf_.resize(kChunkBytes);
+}
+
+void FileCursor::seek(std::uint64_t offset) {
+  EREL_CHECK(offset <= size_, "seek past end of trace file");
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  pos_ = offset;
+  buf_pos_ = buf_len_ = 0;
+  ok = true;
+}
+
+void FileCursor::refill() {
+  buf_pos_ = 0;
+  buf_len_ = 0;
+  const std::uint64_t want =
+      std::min<std::uint64_t>(kChunkBytes, remaining());
+  if (want == 0) return;
+  in_.read(reinterpret_cast<char*>(buf_.data()),
+           static_cast<std::streamsize>(want));
+  EREL_CHECK(in_.gcount() == static_cast<std::streamsize>(want),
+             "trace file read failed");
+  buf_len_ = static_cast<std::size_t>(want);
+}
+
+std::uint8_t FileCursor::u8() {
+  if (buffered() == 0) refill();
+  if (buffered() == 0) {
+    ok = false;
+    return 0;
+  }
+  ++pos_;
+  return buf_[buf_pos_++];
+}
+
+std::uint64_t FileCursor::uvarint() {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  while (shift < 64) {
+    if (buffered() == 0) refill();
+    if (buffered() == 0) {
+      ok = false;
+      return 0;
+    }
+    const std::uint8_t byte = buf_[buf_pos_++];
+    ++pos_;
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  ok = false;  // over-long varint
+  return 0;
+}
+
+std::uint32_t FileCursor::fixed32() {
+  std::uint8_t bytes[4];
+  raw(bytes, 4);
+  std::uint32_t v = 0;
+  std::memcpy(&v, bytes, 4);
+  return v;
+}
+
+std::uint64_t FileCursor::fixed64() {
+  std::uint8_t bytes[8];
+  raw(bytes, 8);
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes, 8);
+  return v;
+}
+
+void FileCursor::raw(void* dst, std::size_t n) {
+  if (remaining() < n) {
+    ok = false;
+    std::memset(dst, 0, n);
+    return;
+  }
+  auto* out = static_cast<std::uint8_t*>(dst);
+  while (n > 0) {
+    if (buffered() == 0) refill();
+    const std::size_t take = std::min(n, buffered());
+    std::memcpy(out, buf_.data() + buf_pos_, take);
+    buf_pos_ += take;
+    pos_ += take;
+    out += take;
+    n -= take;
+  }
+}
+
+// --- TraceReader ----------------------------------------------------------
+
+TraceReader::TraceReader(const std::string& path) : cursor_(path) {
+  EREL_CHECK(cursor_.is_open(), "cannot open trace file: ", path);
+
   std::array<std::uint8_t, 4> magic{};
-  c.raw(magic.data(), magic.size());
-  EREL_CHECK(c.ok && magic == kTraceMagic, "not a trace file: ", path);
-  version_ = c.fixed32();
-  EREL_CHECK(c.ok && version_ == kFormatVersion,
+  cursor_.raw(magic.data(), magic.size());
+  EREL_CHECK(cursor_.ok && magic == kTraceMagic, "not a trace file: ", path);
+  version_ = cursor_.fixed32();
+  EREL_CHECK(cursor_.ok && version_ == kFormatVersion,
              "unsupported trace format version ", version_, " in ", path);
-  has_program_ = c.u8() != 0;
+  has_program_ = cursor_.u8() != 0;
   if (has_program_) {
-    program_.entry = c.uvarint();
-    program_.code_base = c.uvarint();
-    const std::uint64_t code_count = c.uvarint();
-    EREL_CHECK(c.ok && code_count <= c.remaining() / 4,
+    program_.entry = cursor_.uvarint();
+    program_.code_base = cursor_.uvarint();
+    const std::uint64_t code_count = cursor_.uvarint();
+    EREL_CHECK(cursor_.ok && code_count <= cursor_.remaining() / 4,
                "truncated code section in ", path);
     program_.code.resize(code_count);
     for (std::uint64_t i = 0; i < code_count; ++i)
-      program_.code[i] = c.fixed32();
-    const std::uint64_t seg_count = c.uvarint();
-    for (std::uint64_t s = 0; c.ok && s < seg_count; ++s) {
+      program_.code[i] = cursor_.fixed32();
+    const std::uint64_t seg_count = cursor_.uvarint();
+    for (std::uint64_t s = 0; cursor_.ok && s < seg_count; ++s) {
       arch::DataSegment seg;
-      seg.base = c.uvarint();
-      const std::uint64_t bytes = c.uvarint();
-      EREL_CHECK(c.ok && bytes <= c.remaining(), "truncated data segment in ",
-                 path);
+      seg.base = cursor_.uvarint();
+      const std::uint64_t bytes = cursor_.uvarint();
+      EREL_CHECK(cursor_.ok && bytes <= cursor_.remaining(),
+                 "truncated data segment in ", path);
       seg.bytes.resize(bytes);
-      c.raw(seg.bytes.data(), bytes);
+      cursor_.raw(seg.bytes.data(), bytes);
       program_.data.push_back(std::move(seg));
     }
-    const std::uint64_t sym_count = c.uvarint();
-    for (std::uint64_t s = 0; c.ok && s < sym_count; ++s) {
-      const std::uint64_t len = c.uvarint();
-      EREL_CHECK(c.ok && len <= c.remaining(), "truncated symbol table in ",
-                 path);
+    const std::uint64_t sym_count = cursor_.uvarint();
+    for (std::uint64_t s = 0; cursor_.ok && s < sym_count; ++s) {
+      const std::uint64_t len = cursor_.uvarint();
+      EREL_CHECK(cursor_.ok && len <= cursor_.remaining(),
+                 "truncated symbol table in ", path);
       std::string name(len, '\0');
-      c.raw(name.data(), len);
-      program_.symbols[name] = c.uvarint();
+      cursor_.raw(name.data(), len);
+      program_.symbols[name] = cursor_.uvarint();
     }
   }
-  num_records_ = c.fixed64();
-  EREL_CHECK(c.ok, "truncated trace header in ", path);
-  records_offset_ = static_cast<std::size_t>(c.p - buf_.data());
+  num_records_ = cursor_.fixed64();
+  EREL_CHECK(cursor_.ok, "truncated trace header in ", path);
+  records_offset_ = cursor_.position();
   // A capture that died before TraceWriter::finish() leaves the header's
   // count placeholder at 0 with record bytes still following — reject it
   // rather than presenting an apparently-valid empty trace.
-  EREL_CHECK(num_records_ != 0 || c.remaining() == 0,
+  EREL_CHECK(num_records_ != 0 || cursor_.remaining() == 0,
              "unfinished trace (record count never patched): ", path);
-  rewind();
 }
 
 const arch::Program& TraceReader::program() const {
@@ -70,8 +160,7 @@ const arch::Program& TraceReader::program() const {
 }
 
 void TraceReader::rewind() {
-  cursor_ = ByteCursor{buf_.data() + records_offset_,
-                       buf_.data() + buf_.size()};
+  cursor_.seek(records_offset_);
   records_read_ = 0;
   prev_ = sim::SimConfig::TraceEvent{};
 }

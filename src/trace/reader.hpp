@@ -1,6 +1,9 @@
-// Reader for the version-1 binary trace format. Loads the file into memory,
-// decodes the header (and embedded program image, when present) eagerly, and
-// streams records on demand:
+// Reader for the version-1 binary trace format. The header (and embedded
+// program image, when present) is decoded eagerly by streaming only its
+// bytes from the file; records are then decoded on demand through a small
+// fixed-size read buffer, so a multi-gigabyte trace never has to fit in
+// memory — `trace::replay_program` on a large trace costs only the program
+// image:
 //
 //   trace::TraceReader reader(path);
 //   while (auto ev = reader.next()) { ... }
@@ -10,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -19,6 +23,47 @@
 #include "trace/format.hpp"
 
 namespace erel::trace {
+
+/// ByteCursor's interface over a file instead of an in-memory buffer:
+/// sequential bounds-checked decoding through a chunked read buffer.
+/// `remaining()` counts to end-of-file, and every getter sets `ok = false`
+/// (returning 0 / zero-fill) on truncated input.
+class FileCursor {
+ public:
+  explicit FileCursor(const std::string& path);
+
+  [[nodiscard]] bool is_open() const { return in_.is_open(); }
+  [[nodiscard]] std::uint64_t position() const { return pos_; }
+  [[nodiscard]] std::uint64_t remaining() const { return size_ - pos_; }
+
+  /// Repositions the stream to absolute byte `offset` and clears `ok`.
+  void seek(std::uint64_t offset);
+
+  std::uint8_t u8();
+  std::uint64_t uvarint();
+  std::int64_t svarint() { return unzigzag(uvarint()); }
+  std::uint32_t fixed32();
+  std::uint64_t fixed64();
+
+  /// Copies `n` raw bytes into `dst`; zero-fills on truncation.
+  void raw(void* dst, std::size_t n);
+
+  bool ok = true;
+
+ private:
+  /// Bytes buffered but not yet consumed; refills from the file when empty.
+  [[nodiscard]] std::size_t buffered() const { return buf_len_ - buf_pos_; }
+  void refill();
+
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  std::ifstream in_;
+  std::uint64_t size_ = 0;  // total file bytes
+  std::uint64_t pos_ = 0;   // logical read position in the file
+  std::vector<std::uint8_t> buf_;
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_len_ = 0;
+};
 
 class TraceReader {
  public:
@@ -41,9 +86,8 @@ class TraceReader {
   std::vector<sim::SimConfig::TraceEvent> read_all();
 
  private:
-  std::vector<std::uint8_t> buf_;
-  std::size_t records_offset_ = 0;  // byte offset of the first record
-  ByteCursor cursor_{};
+  FileCursor cursor_;
+  std::uint64_t records_offset_ = 0;  // byte offset of the first record
   std::uint32_t version_ = 0;
   std::uint64_t num_records_ = 0;
   std::uint64_t records_read_ = 0;

@@ -3,6 +3,8 @@
 // and the harness runs sampled specs transparently.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "harness/harness.hpp"
 #include "sim/sampling.hpp"
 #include "sim/simulator.hpp"
@@ -114,6 +116,195 @@ TEST(Sampling, OracleCheckedSamplingWorks) {
       sim::SampledSimulator(config, test_sampling()).run(program);
   EXPECT_GT(sampled.samples.size(), 0u);
   EXPECT_TRUE(sampled.estimate.halted);
+}
+
+void expect_stats_identical(const sim::SampledStats& a,
+                            const sim::SampledStats& b) {
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i], b.samples[i]) << "sample " << i;
+  }
+  EXPECT_EQ(a.total_instructions, b.total_instructions);
+  EXPECT_EQ(a.measured_instructions, b.measured_instructions);
+  EXPECT_EQ(a.detailed_instructions, b.detailed_instructions);
+  EXPECT_EQ(a.estimate.cycles, b.estimate.cycles);
+  // Bit-for-bit, not approximately: the merge is deterministic.
+  EXPECT_EQ(a.cpi_mean, b.cpi_mean);
+  EXPECT_EQ(a.ipc_ci95, b.ipc_ci95);
+}
+
+TEST(SamplingPlacement, SameSeedReproducesIdenticalSamples) {
+  const arch::Program program = workloads::assemble_workload("li");
+  for (const auto placement :
+       {sim::Placement::kRandom, sim::Placement::kStratified}) {
+    sim::SamplingConfig s = test_sampling();
+    s.placement = placement;
+    s.seed = 1234;
+    const sim::SampledStats a =
+        sim::SampledSimulator(test_config(), s).run(program);
+    const sim::SampledStats b =
+        sim::SampledSimulator(test_config(), s).run(program);
+    ASSERT_GT(a.samples.size(), 1u)
+        << sim::placement_name(placement);
+    expect_stats_identical(a, b);
+  }
+}
+
+TEST(SamplingPlacement, StratifiedStaysInsideItsInterval) {
+  const arch::Program program = workloads::assemble_workload("li");
+  sim::SamplingConfig s = test_sampling();
+  s.placement = sim::Placement::kStratified;
+  s.seed = 7;
+  const sim::SampledStats stats =
+      sim::SampledSimulator(test_config(), s).run(program);
+  ASSERT_GT(stats.samples.size(), 1u);
+  const std::uint64_t window = s.warmup + s.detail;
+  std::uint64_t interval = 0;
+  for (const auto& sample : stats.samples) {
+    // One unit per period, placed so the window cannot cross into the next
+    // interval. Intervals with no sample (program ended) cannot occur here.
+    EXPECT_GE(sample.start_instruction, interval * s.period);
+    EXPECT_LE(sample.start_instruction, (interval + 1) * s.period - window);
+    ++interval;
+  }
+}
+
+TEST(SamplingPlacement, DifferentSeedsMoveTheUnits) {
+  const arch::Program program = workloads::assemble_workload("li");
+  sim::SamplingConfig s = test_sampling();
+  s.placement = sim::Placement::kStratified;
+  s.seed = 1;
+  const sim::SampledStats a =
+      sim::SampledSimulator(test_config(), s).run(program);
+  s.seed = 2;
+  const sim::SampledStats b =
+      sim::SampledSimulator(test_config(), s).run(program);
+  ASSERT_GT(a.samples.size(), 2u);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  bool any_moved = false;
+  for (std::size_t i = 0; i < a.samples.size(); ++i)
+    any_moved |= a.samples[i].start_instruction !=
+                 b.samples[i].start_instruction;
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(SamplingPlacement, ParseAndNameRoundTrip) {
+  for (const auto placement :
+       {sim::Placement::kPeriodic, sim::Placement::kRandom,
+        sim::Placement::kStratified}) {
+    EXPECT_EQ(sim::parse_placement(sim::placement_name(placement)),
+              placement);
+  }
+}
+
+TEST(SamplingSharded, MatchesSerialBitForBit) {
+  const arch::Program program = workloads::assemble_workload("li");
+  for (const auto placement :
+       {sim::Placement::kPeriodic, sim::Placement::kStratified}) {
+    sim::SamplingConfig s = test_sampling();
+    s.placement = placement;
+    s.seed = 99;
+    s.threads = 1;
+    const sim::SampledStats serial =
+        sim::SampledSimulator(test_config(), s).run(program);
+    s.threads = 4;
+    const sim::SampledStats sharded =
+        sim::SampledSimulator(test_config(), s).run(program);
+    ASSERT_GT(serial.samples.size(), 1u);
+    expect_stats_identical(serial, sharded);
+  }
+}
+
+TEST(SamplingSharded, HarnessRunsShardedSpecs) {
+  harness::RunSpec spec{
+      "li", harness::experiment_config(core::PolicyKind::Extended, 64),
+      "sharded", test_sampling()};
+  spec.sampling->placement = sim::Placement::kStratified;
+  spec.sampling->threads = 2;
+  const auto results = harness::run_all({spec}, 1);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].sampled.has_value());
+  EXPECT_GT(results[0].sampled->samples.size(), 1u);
+}
+
+TEST(SamplingStopping, TargetCiStopsBeforeMeasuringEveryUnit) {
+  const arch::Program program = workloads::assemble_workload("li");
+  sim::SamplingConfig s;
+  s.period = 10'000;  // small enough to plan well over one CI batch of units
+  s.warmup = 1'000;
+  s.detail = 2'000;
+  s.placement = sim::Placement::kStratified;
+  s.seed = 5;
+  const sim::SampledStats all =
+      sim::SampledSimulator(test_config(), s).run(program);
+  ASSERT_GT(all.units_planned, 9u) << "workload too short for this test";
+
+  s.target_ci = 1e6;  // any 2-sample batch satisfies this
+  const sim::SampledStats stopped =
+      sim::SampledSimulator(test_config(), s).run(program);
+  EXPECT_LT(stopped.samples.size(), all.samples.size());
+  EXPECT_LE(stopped.samples.size(), 8u);  // one CI batch
+  // The planning pass still sweeps the whole program: counts stay exact.
+  EXPECT_EQ(stopped.total_instructions, all.total_instructions);
+  EXPECT_EQ(stopped.units_planned, all.units_planned);
+}
+
+TEST(SamplingStopping, UnreachableTargetMeasuresEveryPlannedUnit) {
+  const arch::Program program = workloads::assemble_workload("li");
+  sim::SamplingConfig s = test_sampling();
+  s.placement = sim::Placement::kStratified;
+  s.seed = 5;
+  s.target_ci = 1e-15;  // never satisfied on a real workload
+  const sim::SampledStats stats =
+      sim::SampledSimulator(test_config(), s).run(program);
+  EXPECT_EQ(stats.samples.size(), stats.units_planned);
+  EXPECT_GT(stats.ipc_ci95, 1e-15);
+}
+
+TEST(SamplingStopping, MaxSamplesStaysAHardCap) {
+  const arch::Program program = workloads::assemble_workload("li");
+  sim::SamplingConfig s = test_sampling();
+  s.target_ci = 1e-15;  // wants every unit...
+  s.max_samples = 3;    // ...but the cap wins
+  const sim::SampledStats stats =
+      sim::SampledSimulator(test_config(), s).run(program);
+  EXPECT_LE(stats.samples.size(), 3u);
+  EXPECT_EQ(stats.units_planned, 3u);
+
+  const sim::SampledStats uncapped =
+      sim::SampledSimulator(test_config(), test_sampling()).run(program);
+  EXPECT_EQ(stats.total_instructions, uncapped.total_instructions);
+}
+
+TEST(SamplingStopping, CiStoppingIsThreadCountInvariant) {
+  const arch::Program program = workloads::assemble_workload("li");
+  sim::SamplingConfig s = test_sampling();
+  s.placement = sim::Placement::kStratified;
+  s.seed = 11;
+  s.target_ci = 0.05;
+  s.threads = 1;
+  const sim::SampledStats serial =
+      sim::SampledSimulator(test_config(), s).run(program);
+  s.threads = 3;
+  const sim::SampledStats sharded =
+      sim::SampledSimulator(test_config(), s).run(program);
+  expect_stats_identical(serial, sharded);
+}
+
+TEST(Sampling, TinyCycleLimitCannotPoisonTheEstimate) {
+  // Windows whose warm-up runs into max_cycles must never contribute
+  // infinite per-sample IPC to the mean (degenerate windows are dropped).
+  const arch::Program program = workloads::assemble_workload("li");
+  sim::SimConfig config = test_config();
+  config.max_cycles = 64;
+  const sim::SampledStats stats =
+      sim::SampledSimulator(config, test_sampling()).run(program);
+  EXPECT_TRUE(std::isfinite(stats.estimate.ipc()));
+  EXPECT_TRUE(std::isfinite(stats.ipc_mean));
+  for (const auto& sample : stats.samples) {
+    EXPECT_GT(sample.cycles, 0u);
+    EXPECT_TRUE(std::isfinite(sample.ipc()));
+  }
 }
 
 TEST(SamplingDeathTest, PeriodMustExceedWindow) {
