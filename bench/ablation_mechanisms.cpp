@@ -7,36 +7,53 @@
 //      by comparing against extended, which never reuses.
 //   3. LSQ store->load forwarding contribution (memory substrate ablation):
 //      shrink the LSQ to throttle it.
+// Ablations 1 and 3 sweep a non-register axis via Experiment::vary(), the
+// declarative hook for arbitrary SimConfig mutators.
+// Shared sweep CLI: --threads, --csv/--json, --cache-dir, --smoke.
 #include <cstdio>
 
 #include "common/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace erel;
   using core::PolicyKind;
+
+  const auto opts = benchutil::cli::parse(argc, argv);
+  const auto int_names = opts.int_names();
+  const auto fp_names = opts.fp_names();
+
+  // The three ablations are separate sweeps; their keys never collide
+  // (different variants / phys points), so the sinks and the cache
+  // provenance line report them as one combined ResultSet.
+  harness::ResultSet combined;
+  const auto absorb = [&combined](const harness::ResultSet& rs) {
+    for (const harness::ExpEntry& e : rs.entries()) combined.add(e);
+  };
 
   // --- 1. checkpoint budget / RelQue depth ---
   std::printf("=== ablation 1: pending-branch budget (extended, 48+48) ===\n");
   {
+    std::vector<harness::Experiment::AxisPoint> depths;
+    for (const unsigned depth : {4u, 8u, 20u})
+      depths.push_back({std::to_string(depth),
+                        [depth](sim::SimConfig& config) {
+                          config.max_pending_branches = depth;
+                        }});
+    const harness::ResultSet rs = harness::Experiment()
+                                      .workloads(opts.workload_names())
+                                      .policies({PolicyKind::Extended})
+                                      .phys_regs({48})
+                                      .vary("maxbr", depths)
+                                      .run(opts.run_options());
+    absorb(rs);
     TextTable t({"max pending branches", "int Hm IPC", "FP Hm IPC"});
-    for (const unsigned depth : {4u, 8u, 20u}) {
-      std::vector<harness::RunSpec> specs;
-      for (const auto& w : workloads::workload_names()) {
-        auto config = harness::experiment_config(PolicyKind::Extended, 48);
-        config.max_pending_branches = depth;
-        specs.push_back({w, config, "", {}});
-      }
-      const auto results = harness::run_all(specs);
-      std::vector<double> int_ipc, fp_ipc;
-      for (std::size_t i = 0; i < results.size(); ++i) {
-        const bool fp =
-            workloads::workload(results[i].spec.workload).is_fp;
-        (fp ? fp_ipc : int_ipc).push_back(results[i].stats.ipc());
-      }
-      t.add_row({std::to_string(depth),
-                 TextTable::num(harness::harmonic_mean(int_ipc)),
-                 TextTable::num(harness::harmonic_mean(fp_ipc))});
+    for (const std::string& variant : rs.variants()) {
+      t.add_row({variant.substr(variant.find('=') + 1),
+                 TextTable::num(
+                     rs.hmean_ipc(int_names, PolicyKind::Extended, 48, variant)),
+                 TextTable::num(
+                     rs.hmean_ipc(fp_names, PolicyKind::Extended, 48, variant))});
     }
     std::printf("%s", t.to_string().c_str());
   }
@@ -45,19 +62,19 @@ int main() {
   std::printf(
       "\n=== ablation 2: where do releases happen? (48+48, per class) ===\n");
   {
-    const auto results = benchutil::run_sweep(
-        workloads::workload_names(),
-        {PolicyKind::Conventional, PolicyKind::Basic, PolicyKind::Extended},
-        {48});
+    const harness::ResultSet rs = harness::Experiment()
+                                      .workloads(opts.workload_names())
+                                      .policies(core::all_policies())
+                                      .phys_regs({48})
+                                      .run(opts.run_options());
+    absorb(rs);
     TextTable t({"policy", "class", "conventional", "early@LU", "immediate",
                  "reuse", "branch-confirm", "fallback"});
-    for (const PolicyKind policy :
-         {PolicyKind::Conventional, PolicyKind::Basic, PolicyKind::Extended}) {
+    for (const PolicyKind policy : core::all_policies()) {
       for (int cls = 0; cls < 2; ++cls) {
         core::PolicyStats sum;
-        for (const auto& w : workloads::workload_names()) {
-          const auto& ps =
-              results.at(benchutil::SweepKey{w, policy, 48}).policy_stats[cls];
+        for (const auto& w : opts.workload_names()) {
+          const auto& ps = rs.stats({w, policy, 48, ""}).policy_stats[cls];
           sum.conventional_releases += ps.conventional_releases;
           sum.early_commit_releases += ps.early_commit_releases;
           sum.immediate_releases += ps.immediate_releases;
@@ -81,25 +98,28 @@ int main() {
   // --- 3. LSQ capacity (memory substrate) ---
   std::printf("\n=== ablation 3: LSQ size (extended, 64+64) ===\n");
   {
+    std::vector<harness::Experiment::AxisPoint> lsq_sizes;
+    for (const unsigned lsq : {16u, 32u, 64u})
+      lsq_sizes.push_back({std::to_string(lsq), [lsq](sim::SimConfig& config) {
+                             config.lsq_size = lsq;
+                           }});
+    const harness::ResultSet rs = harness::Experiment()
+                                      .workloads(opts.workload_names())
+                                      .policies({PolicyKind::Extended})
+                                      .phys_regs({64})
+                                      .vary("lsq", lsq_sizes)
+                                      .run(opts.run_options());
+    absorb(rs);
     TextTable t({"LSQ entries", "int Hm IPC", "FP Hm IPC"});
-    for (const unsigned lsq : {16u, 32u, 64u}) {
-      std::vector<harness::RunSpec> specs;
-      for (const auto& w : workloads::workload_names()) {
-        auto config = harness::experiment_config(PolicyKind::Extended, 64);
-        config.lsq_size = lsq;
-        specs.push_back({w, config, "", {}});
-      }
-      const auto results = harness::run_all(specs);
-      std::vector<double> int_ipc, fp_ipc;
-      for (const auto& r : results) {
-        const bool fp = workloads::workload(r.spec.workload).is_fp;
-        (fp ? fp_ipc : int_ipc).push_back(r.stats.ipc());
-      }
-      t.add_row({std::to_string(lsq),
-                 TextTable::num(harness::harmonic_mean(int_ipc)),
-                 TextTable::num(harness::harmonic_mean(fp_ipc))});
+    for (const std::string& variant : rs.variants()) {
+      t.add_row({variant.substr(variant.find('=') + 1),
+                 TextTable::num(
+                     rs.hmean_ipc(int_names, PolicyKind::Extended, 64, variant)),
+                 TextTable::num(
+                     rs.hmean_ipc(fp_names, PolicyKind::Extended, 64, variant))});
     }
     std::printf("%s", t.to_string().c_str());
   }
+  benchutil::cli::finish(combined, opts);
   return 0;
 }

@@ -1,46 +1,24 @@
-// Shared helpers for the table/figure reproduction binaries.
+// Shared helpers for the table/figure reproduction binaries: workload
+// subsets and the `benchutil::cli` option parser every sweep binary uses.
+//
+// The sweep binaries themselves are thin: they declare a
+// harness::Experiment, run it (optionally sampled, optionally against the
+// on-disk result cache) and format the paper's tables from the typed
+// harness::ResultSet. The old benchutil::run_sweep / SweepKey glue —
+// which paired specs to results by replaying the construction loops — is
+// gone; see harness/experiment.hpp.
 #pragma once
 
 #include <cstdio>
-#include <map>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "harness/harness.hpp"
+#include "harness/experiment.hpp"
 #include "workloads/workloads.hpp"
 
 namespace erel::benchutil {
-
-struct SweepKey {
-  std::string workload;
-  core::PolicyKind policy;
-  unsigned phys;
-  bool operator<(const SweepKey& other) const {
-    return std::tie(workload, policy, phys) <
-           std::tie(other.workload, other.policy, other.phys);
-  }
-};
-
-using SweepResults = std::map<SweepKey, sim::SimStats>;
-
-/// Runs workloads x policies x sizes in parallel and indexes the results.
-inline SweepResults run_sweep(const std::vector<std::string>& names,
-                              const std::vector<core::PolicyKind>& policies,
-                              const std::vector<unsigned>& sizes) {
-  std::vector<harness::RunSpec> specs;
-  for (const std::string& w : names)
-    for (const core::PolicyKind policy : policies)
-      for (const unsigned p : sizes)
-        specs.push_back({w, harness::experiment_config(policy, p), "", {}});
-  const auto results = harness::run_all(specs);
-  SweepResults out;
-  std::size_t i = 0;
-  for (const std::string& w : names)
-    for (const core::PolicyKind policy : policies)
-      for (const unsigned p : sizes)
-        out[{w, policy, p}] = results[i++].stats;
-  return out;
-}
 
 inline std::vector<std::string> int_names() {
   std::vector<std::string> names;
@@ -56,14 +34,166 @@ inline std::vector<std::string> fp_names() {
   return names;
 }
 
-/// Harmonic-mean IPC over a workload subset at one (policy, size) point.
-inline double hmean_ipc(const SweepResults& results,
-                        const std::vector<std::string>& names,
-                        core::PolicyKind policy, unsigned phys) {
-  std::vector<double> ipcs;
-  for (const std::string& w : names)
-    ipcs.push_back(results.at({w, policy, phys}).ipc());
-  return harness::harmonic_mean(ipcs);
+namespace cli {
+
+/// Options common to every sweep binary. `--smoke` shrinks the grid (two
+/// short kernels, few sizes, small sampling windows) so CI can execute the
+/// binaries end-to-end on every PR instead of only compiling them.
+struct Options {
+  unsigned threads = 0;  // --threads=N     harness pool (0 = hardware)
+  bool sample = false;   // --sample        checkpointed interval sampling
+  sim::Placement placement =
+      sim::Placement::kStratified;  // --placement=periodic|random|stratified
+  double target_ci = 0.0;           // --target-ci=X   CI-driven stopping
+  std::uint64_t sample_period = 0;  // --sample-period=N   (0 = auto)
+  std::uint64_t sample_warmup = 0;  // --sample-warmup=N   (0 = auto)
+  std::uint64_t sample_detail = 0;  // --sample-detail=N   (0 = auto)
+  std::string csv_path;             // --csv=PATH      ResultSet CSV sink
+  std::string json_path;            // --json=PATH     ResultSet JSON sink
+  std::string cache_dir;            // --cache-dir=PATH  result cache
+  bool smoke = false;               // --smoke         tiny CI grid
+  std::vector<core::PolicyKind> policies =
+      core::all_policies();         // --policies=a,b,c subset filter
+  std::vector<std::string> positional;
+
+  /// Sampling parameters sized for the grid: registry kernels run a few
+  /// hundred thousand instructions, so the full-scale defaults already
+  /// yield only a handful of units; --smoke shrinks the windows further.
+  [[nodiscard]] sim::SamplingConfig sampling_config() const {
+    sim::SamplingConfig s;
+    s.period = sample_period ? sample_period : (smoke ? 30'000 : 100'000);
+    s.warmup = sample_warmup ? sample_warmup : (smoke ? 1'000 : 2'000);
+    s.detail = sample_detail ? sample_detail : (smoke ? 5'000 : 10'000);
+    s.placement = placement;
+    s.target_ci = target_ci;
+    return s;
+  }
+
+  [[nodiscard]] harness::RunOptions run_options() const {
+    return {threads, cache_dir};
+  }
+
+  // Workload subsets honoring --smoke.
+  [[nodiscard]] std::vector<std::string> int_names() const {
+    return smoke ? std::vector<std::string>{"li"} : benchutil::int_names();
+  }
+  [[nodiscard]] std::vector<std::string> fp_names() const {
+    return smoke ? std::vector<std::string>{"swim"} : benchutil::fp_names();
+  }
+  [[nodiscard]] std::vector<std::string> workload_names() const {
+    if (!smoke) return workloads::workload_names();
+    return {"li", "swim"};
+  }
+};
+
+inline void usage(const char* argv0) {
+  std::printf(
+      "usage: %s [options] [positional...]\n"
+      "  --threads=N        harness pool workers (0 = hardware default)\n"
+      "  --sample           checkpointed interval sampling per cell\n"
+      "  --placement=MODE   periodic|random|stratified (default stratified)\n"
+      "  --target-ci=X      stop sampling at 95%% CI half-width <= X\n"
+      "  --sample-period=N  --sample-warmup=N  --sample-detail=N\n"
+      "  --policies=A,B     policy subset (conv,basic,extended)\n"
+      "  --csv=PATH         write the ResultSet as CSV\n"
+      "  --json=PATH        write the ResultSet as JSON\n"
+      "  --cache-dir=PATH   reuse/store per-cell results on disk\n"
+      "  --smoke            tiny grid (CI: execute, don't just compile)\n",
+      argv0);
 }
 
+inline Options parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    const auto value = [&](std::string_view flag) -> std::string {
+      // "--flag=value" or "--flag value".
+      if (arg.size() > flag.size() && arg[flag.size()] == '=')
+        return std::string(arg.substr(flag.size() + 1));
+      if (i + 1 < argc) return argv[++i];
+      std::fprintf(stderr, "%s: missing value for %.*s\n", argv[0],
+                   static_cast<int>(flag.size()), flag.data());
+      std::exit(2);
+    };
+    const auto matches = [&](std::string_view flag) {
+      return arg == flag ||
+             (arg.size() > flag.size() && arg.substr(0, flag.size()) == flag &&
+              arg[flag.size()] == '=');
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      std::exit(0);
+    } else if (arg == "--sample") {
+      opts.sample = true;
+    } else if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (matches("--threads")) {
+      opts.threads = static_cast<unsigned>(
+          std::strtoul(value("--threads").c_str(), nullptr, 10));
+    } else if (matches("--placement")) {
+      opts.placement = sim::parse_placement(value("--placement"));
+    } else if (matches("--target-ci")) {
+      opts.target_ci = std::strtod(value("--target-ci").c_str(), nullptr);
+    } else if (matches("--sample-period")) {
+      opts.sample_period =
+          std::strtoull(value("--sample-period").c_str(), nullptr, 10);
+    } else if (matches("--sample-warmup")) {
+      opts.sample_warmup =
+          std::strtoull(value("--sample-warmup").c_str(), nullptr, 10);
+    } else if (matches("--sample-detail")) {
+      opts.sample_detail =
+          std::strtoull(value("--sample-detail").c_str(), nullptr, 10);
+    } else if (matches("--csv")) {
+      opts.csv_path = value("--csv");
+    } else if (matches("--json")) {
+      opts.json_path = value("--json");
+    } else if (matches("--cache-dir")) {
+      opts.cache_dir = value("--cache-dir");
+    } else if (matches("--policies")) {
+      opts.policies.clear();
+      std::string list = value("--policies");
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start)
+          opts.policies.push_back(
+              core::parse_policy(list.substr(start, comma - start)));
+        start = comma + 1;
+      }
+      if (opts.policies.empty()) {
+        std::fprintf(stderr, "%s: --policies needs at least one policy\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    } else if (arg.size() >= 2 && arg.substr(0, 2) == "--") {
+      std::fprintf(stderr, "%s: unknown option %s\n", argv[0], argv[i]);
+      usage(argv[0]);
+      std::exit(2);
+    } else {
+      opts.positional.push_back(std::string(arg));
+    }
+  }
+  return opts;
+}
+
+/// Post-run chores shared by every binary: sink files and the cache
+/// provenance line the CI gate greps for.
+inline void finish(const harness::ResultSet& rs, const Options& opts) {
+  if (!opts.csv_path.empty()) {
+    rs.write_csv(opts.csv_path);
+    std::printf("wrote CSV %s (%zu cells)\n", opts.csv_path.c_str(), rs.size());
+  }
+  if (!opts.json_path.empty()) {
+    rs.write_json(opts.json_path);
+    std::printf("wrote JSON %s (%zu cells)\n", opts.json_path.c_str(),
+                rs.size());
+  }
+  if (!opts.cache_dir.empty()) {
+    std::printf("cache: %zu hits, %zu simulated (dir %s)\n", rs.cache_hits(),
+                rs.simulated(), opts.cache_dir.c_str());
+  }
+}
+
+}  // namespace cli
 }  // namespace erel::benchutil

@@ -1,51 +1,64 @@
 // Figure 10 reproduction: per-benchmark IPC for conventional / basic /
 // extended with very tight 48+48 register files, plus harmonic means.
+// Shared sweep CLI: --threads, --csv/--json, --cache-dir, --policies,
+// --smoke, --sample.
 #include <cstdio>
 
 #include "common/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace erel;
   using core::PolicyKind;
-  using benchutil::SweepKey;
 
-  const std::vector<PolicyKind> policies = {
-      PolicyKind::Conventional, PolicyKind::Basic, PolicyKind::Extended};
-  const auto results =
-      benchutil::run_sweep(workloads::workload_names(), policies, {48});
+  const auto opts = benchutil::cli::parse(argc, argv);
+  constexpr unsigned kPhys = 48;
 
+  harness::Experiment exp;
+  exp.workloads(opts.workload_names()).policies(opts.policies).phys_regs(
+      {kPhys});
+  if (opts.sample) exp.sampling(opts.sampling_config());
+  const harness::ResultSet rs = exp.run(opts.run_options());
+
+  const PolicyKind baseline = opts.policies.front();
   std::printf("=== Figure 10: IPC with 48+48 registers ===\n");
   for (const bool fp : {false, true}) {
-    const auto names = fp ? benchutil::fp_names() : benchutil::int_names();
+    const auto names = fp ? opts.fp_names() : opts.int_names();
+    if (names.empty()) continue;
     std::printf("\n-- %s --\n", fp ? "FP" : "Integer");
-    TextTable t({"benchmark", "conv", "basic", "extended", "basic speedup",
-                 "extended speedup"});
+
+    std::vector<std::string> header = {"benchmark"};
+    for (const PolicyKind pk : opts.policies)
+      header.push_back(std::string(core::policy_name(pk)));
+    for (std::size_t k = 1; k < opts.policies.size(); ++k)
+      header.push_back(std::string(core::policy_name(opts.policies[k])) +
+                       " speedup");
+    TextTable t(std::move(header));
+
     for (const auto& name : names) {
-      const double conv =
-          results.at(SweepKey{name, PolicyKind::Conventional, 48}).ipc();
-      const double basic =
-          results.at(SweepKey{name, PolicyKind::Basic, 48}).ipc();
-      const double ext =
-          results.at(SweepKey{name, PolicyKind::Extended, 48}).ipc();
-      t.add_row({name, TextTable::num(conv), TextTable::num(basic),
-                 TextTable::num(ext), TextTable::pct(basic / conv - 1.0),
-                 TextTable::pct(ext / conv - 1.0)});
+      std::vector<std::string> row = {name};
+      const double base = rs.ipc({name, baseline, kPhys, ""});
+      for (const PolicyKind pk : opts.policies)
+        row.push_back(TextTable::num(rs.ipc({name, pk, kPhys, ""})));
+      for (std::size_t k = 1; k < opts.policies.size(); ++k)
+        row.push_back(TextTable::speedup_pct(
+            rs.ipc({name, opts.policies[k], kPhys, ""}), base));
+      t.add_row(std::move(row));
     }
-    const double conv_hm =
-        benchutil::hmean_ipc(results, names, PolicyKind::Conventional, 48);
-    const double basic_hm =
-        benchutil::hmean_ipc(results, names, PolicyKind::Basic, 48);
-    const double ext_hm =
-        benchutil::hmean_ipc(results, names, PolicyKind::Extended, 48);
-    t.add_row({"Hm", TextTable::num(conv_hm), TextTable::num(basic_hm),
-               TextTable::num(ext_hm), TextTable::pct(basic_hm / conv_hm - 1.0),
-               TextTable::pct(ext_hm / conv_hm - 1.0)});
+
+    std::vector<std::string> hm_row = {"Hm"};
+    for (const PolicyKind pk : opts.policies)
+      hm_row.push_back(TextTable::num(rs.hmean_ipc(names, pk, kPhys)));
+    for (std::size_t k = 1; k < opts.policies.size(); ++k)
+      hm_row.push_back(TextTable::pct(
+          rs.speedup_vs(names, opts.policies[k], baseline, kPhys)));
+    t.add_row(std::move(hm_row));
     std::printf("%s", t.to_string().c_str());
   }
   std::printf(
       "\npaper (48+48): basic ~6%% FP speedup, negligible for int;\n"
       "extended ~8%% FP / ~5%% int. Expect the same ordering here with\n"
       "magnitudes shifted by our workload substitution.\n");
+  benchutil::cli::finish(rs, opts);
   return 0;
 }

@@ -2,31 +2,38 @@
 // Empty / Ready / Idle states under conventional renaming, with a tight
 // 96+96 register file (L=32, N=128) — integer registers for integer
 // programs, FP registers for FP programs.
+// Shared sweep CLI: --threads, --csv/--json, --cache-dir, --smoke.
 #include <cstdio>
 
 #include "common/table.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace erel;
-  using benchutil::SweepKey;
+  using core::PolicyKind;
 
-  const auto results = benchutil::run_sweep(
-      workloads::workload_names(), {core::PolicyKind::Conventional}, {96});
+  const auto opts = benchutil::cli::parse(argc, argv);
+  constexpr unsigned kPhys = 96;
+
+  const harness::ResultSet rs = harness::Experiment()
+                                    .workloads(opts.workload_names())
+                                    .policies({PolicyKind::Conventional})
+                                    .phys_regs({kPhys})
+                                    .run(opts.run_options());
 
   std::printf(
       "=== Figure 3: allocated registers by state, conventional renaming "
       "(P=96 per class) ===\n");
   for (const bool fp : {false, true}) {
-    const auto names = fp ? benchutil::fp_names() : benchutil::int_names();
+    const auto names = fp ? opts.fp_names() : opts.int_names();
+    if (names.empty()) continue;
     std::printf("\n-- %s programs (%s registers) --\n",
                 fp ? "floating point" : "integer", fp ? "FP" : "integer");
     TextTable t({"benchmark", "empty", "ready", "idle", "allocated",
                  "idle inflation"});
     double sum_empty = 0, sum_ready = 0, sum_idle = 0;
     for (const auto& name : names) {
-      const auto& stats =
-          results.at(SweepKey{name, core::PolicyKind::Conventional, 96});
+      const auto& stats = rs.stats({name, PolicyKind::Conventional, kPhys, ""});
       const core::Occupancy& occ = stats.occupancy[fp ? 1 : 0];
       sum_empty += occ.avg_empty;
       sum_ready += occ.avg_ready;
@@ -51,5 +58,6 @@ int main() {
       "16.8%% (FP). Our kernels reproduce the premise (a large Idle share\n"
       "for every program); the int-vs-FP asymmetry depends on SPEC code\n"
       "shapes we approximate only loosely (see EXPERIMENTS.md).\n");
+  benchutil::cli::finish(rs, opts);
   return 0;
 }

@@ -1,6 +1,7 @@
 // Table 4 reproduction: register file sizes giving equal IPC — how many
 // registers the extended mechanism saves at iso-performance (paper: 12.5%
 // and 11.1% for int codes, 7.2% and 8.9% for FP codes).
+// Shared sweep CLI: --threads, --csv/--json, --cache-dir, --smoke, --sample.
 #include <cstdio>
 
 #include <algorithm>
@@ -40,27 +41,37 @@ struct Curve {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace erel;
 
-  // A finer grid than Figure 11 so the interpolation is meaningful.
+  const auto opts = benchutil::cli::parse(argc, argv);
+
+  // A finer grid than Figure 11 so the interpolation is meaningful; the
+  // smoke grid keeps the 40..64 tight region where the savings live.
   std::vector<unsigned> sizes;
-  for (unsigned p = 40; p <= 112; p += 4) sizes.push_back(p);
-  const auto results = benchutil::run_sweep(
-      workloads::workload_names(),
-      {PolicyKind::Conventional, PolicyKind::Extended}, sizes);
+  if (opts.smoke) {
+    for (unsigned p = 40; p <= 64; p += 8) sizes.push_back(p);
+  } else {
+    for (unsigned p = 40; p <= 112; p += 4) sizes.push_back(p);
+  }
+
+  harness::Experiment exp;
+  exp.workloads(opts.workload_names())
+      .policies({PolicyKind::Conventional, PolicyKind::Extended})
+      .phys_regs(sizes);
+  if (opts.sample) exp.sampling(opts.sampling_config());
+  const harness::ResultSet rs = exp.run(opts.run_options());
 
   std::printf("=== Table 4: register file sizes giving equal IPC ===\n");
   for (const bool fp : {true, false}) {
-    const auto names = fp ? benchutil::fp_names() : benchutil::int_names();
+    const auto names = fp ? opts.fp_names() : opts.int_names();
+    if (names.empty()) continue;
     Curve conv, ext;
     for (const unsigned p : sizes) {
       conv.sizes.push_back(p);
-      conv.ipc.push_back(
-          benchutil::hmean_ipc(results, names, PolicyKind::Conventional, p));
+      conv.ipc.push_back(rs.hmean_ipc(names, PolicyKind::Conventional, p));
       ext.sizes.push_back(p);
-      ext.ipc.push_back(
-          benchutil::hmean_ipc(results, names, PolicyKind::Extended, p));
+      ext.ipc.push_back(rs.hmean_ipc(names, PolicyKind::Extended, p));
     }
     std::printf("\n-- %s codes --\n", fp ? "FP" : "int");
     TextTable t({"conv size", "conv IPC", "extended size (same IPC)",
@@ -68,6 +79,7 @@ int main() {
     // Reference sizes roughly where the paper's examples sit.
     for (const unsigned ref : {64u, 72u, 80u}) {
       const double target = conv.ipc_at(ref);
+      if (target <= 0) continue;
       const double needed = ext.size_for(target);
       if (needed <= 0) continue;
       t.add_row({std::to_string(ref), TextTable::num(target),
@@ -80,5 +92,6 @@ int main() {
       "\npaper: FP 69->64 (7.2%%) and 79->72 (8.9%%); int 64->56 (12.5%%)\n"
       "and 72->64 (11.1%%). Expect savings of the same order wherever the\n"
       "conv curve is still climbing (tight region).\n");
+  benchutil::cli::finish(rs, opts);
   return 0;
 }

@@ -1,14 +1,16 @@
 // Register-pressure study: sweep the physical register file size for one
 // kernel and print IPC curves for all three release policies — a
 // per-benchmark slice of the paper's Figure 11, with an ASCII plot.
+// Built on the declarative harness::Experiment sweep API.
 //
 //   $ ./register_pressure_study [workload]     (default: swim)
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
-#include "harness/harness.hpp"
+#include "harness/experiment.hpp"
 #include "workloads/workloads.hpp"
 
 int main(int argc, char** argv) {
@@ -20,27 +22,24 @@ int main(int argc, char** argv) {
   std::printf("workload: %s — %s (%s)\n\n", w.name.c_str(),
               w.description.c_str(), w.is_fp ? "FP" : "integer");
 
-  const std::vector<PolicyKind> policies = {
-      PolicyKind::Conventional, PolicyKind::Basic, PolicyKind::Extended};
   const auto& sizes = harness::register_sweep_sizes();
-
-  std::vector<harness::RunSpec> specs;
-  for (const PolicyKind policy : policies)
-    for (const unsigned p : sizes)
-      specs.push_back({name, harness::experiment_config(policy, p), "", {}});
-  const auto results = harness::run_all(specs);
+  const harness::ResultSet rs = harness::Experiment()
+                                    .workloads({name})
+                                    .policies(core::all_policies())
+                                    .phys_regs(sizes)
+                                    .run();
 
   TextTable t({"registers", "conv", "basic", "extended", "extended speedup"});
   double max_ipc = 0;
-  for (const auto& r : results) max_ipc = std::max(max_ipc, r.stats.ipc());
+  for (const auto& e : rs.entries()) max_ipc = std::max(max_ipc, e.ipc());
   std::vector<std::string> plot;
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    const double conv = results[i].stats.ipc();
-    const double basic = results[sizes.size() + i].stats.ipc();
-    const double ext = results[2 * sizes.size() + i].stats.ipc();
-    t.add_row({std::to_string(sizes[i]), TextTable::num(conv),
+  for (const unsigned p : sizes) {
+    const double conv = rs.ipc({name, PolicyKind::Conventional, p, ""});
+    const double basic = rs.ipc({name, PolicyKind::Basic, p, ""});
+    const double ext = rs.ipc({name, PolicyKind::Extended, p, ""});
+    t.add_row({std::to_string(p), TextTable::num(conv),
                TextTable::num(basic), TextTable::num(ext),
-               TextTable::pct(ext / conv - 1.0)});
+               TextTable::speedup_pct(ext, conv)});
     // ASCII curve: c = conv, e = extended (b omitted for legibility).
     std::string line(64, ' ');
     const auto col = [&](double ipc) {
@@ -50,7 +49,7 @@ int main(int argc, char** argv) {
     line[col(conv)] = 'c';
     line[col(ext)] = line[col(ext)] == 'c' ? '*' : 'e';
     char label[16];
-    std::snprintf(label, sizeof label, "%4u |", sizes[i]);
+    std::snprintf(label, sizeof label, "%4u |", p);
     plot.push_back(std::string(label) + line);
   }
   std::printf("%s\n", t.to_string().c_str());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -22,15 +23,23 @@ void TextTable::add_row(std::vector<std::string> cells) {
 }
 
 std::string TextTable::num(double value, int precision) {
+  if (!std::isfinite(value)) return "n/a";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", precision, value);
   return buf;
 }
 
 std::string TextTable::pct(double fraction, int precision) {
+  if (!std::isfinite(fraction)) return "n/a";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f%%", precision, fraction * 100.0);
   return buf;
+}
+
+std::string TextTable::speedup_pct(double value, double baseline,
+                                   int precision) {
+  if (!(value > 0.0) || !(baseline > 0.0)) return "n/a";
+  return pct(value / baseline - 1.0, precision);
 }
 
 namespace {

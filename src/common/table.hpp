@@ -17,8 +17,15 @@ class TextTable {
   void add_row(std::vector<std::string> cells);
 
   /// Convenience: formats doubles with `precision` digits after the point.
+  /// Non-finite inputs (a ratio over a zero denominator, e.g. a harmonic
+  /// mean that collapsed to 0) render as "n/a" instead of inf/nan.
   static std::string num(double value, int precision = 3);
   static std::string pct(double fraction, int precision = 1);
+
+  /// Speedup column: (value / baseline - 1) as a percentage, "n/a" when
+  /// either side is non-positive (degenerate series).
+  static std::string speedup_pct(double value, double baseline,
+                                 int precision = 1);
 
   [[nodiscard]] std::string to_string() const;
 

@@ -15,6 +15,20 @@ std::string_view policy_name(PolicyKind kind) {
   return "?";
 }
 
+PolicyKind parse_policy(std::string_view name) {
+  if (name == "conv" || name == "conventional") return PolicyKind::Conventional;
+  if (name == "basic") return PolicyKind::Basic;
+  if (name == "extended" || name == "ext") return PolicyKind::Extended;
+  EREL_FATAL("unknown release policy '", name,
+             "' (expected conv|basic|extended)");
+}
+
+const std::vector<PolicyKind>& all_policies() {
+  static const std::vector<PolicyKind> kinds = {
+      PolicyKind::Conventional, PolicyKind::Basic, PolicyKind::Extended};
+  return kinds;
+}
+
 // ---------------------------------------------------------------------------
 // Base-class defaults (the conventional scheme uses most of them directly).
 // ---------------------------------------------------------------------------

@@ -18,6 +18,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
+#include <vector>
 
 #include "core/lus_table.hpp"
 #include "core/reg_state.hpp"
@@ -28,7 +30,16 @@ namespace erel::core {
 
 enum class PolicyKind : std::uint8_t { Conventional, Basic, Extended };
 
+/// Stable short name: "conv" / "basic" / "extended" (tables, CSV/JSON
+/// sinks, CLI flags). Round-trips through parse_policy.
 [[nodiscard]] std::string_view policy_name(PolicyKind kind);
+
+/// Inverse of policy_name; also accepts the long aliases "conventional"
+/// and "ext". Aborts on an unknown name.
+[[nodiscard]] PolicyKind parse_policy(std::string_view name);
+
+/// The three paper policies in presentation order (conv, basic, extended).
+[[nodiscard]] const std::vector<PolicyKind>& all_policies();
 
 /// Release-event counters, reported per class in the simulation results.
 struct PolicyStats {

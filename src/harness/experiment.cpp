@@ -1,0 +1,197 @@
+#include "harness/experiment.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+#include <utility>
+
+#include "common/log.hpp"
+#include "harness/fingerprint.hpp"
+
+namespace erel::harness {
+
+Experiment::Experiment() { base_.check_oracle = false; }
+
+Experiment& Experiment::base(sim::SimConfig config) {
+  base_ = std::move(config);
+  return *this;
+}
+
+Experiment& Experiment::workloads(std::vector<std::string> names) {
+  workloads_ = std::move(names);
+  return *this;
+}
+
+Experiment& Experiment::policies(std::vector<core::PolicyKind> kinds) {
+  policies_ = std::move(kinds);
+  return *this;
+}
+
+Experiment& Experiment::phys_regs(std::vector<unsigned> sizes) {
+  phys_ = std::move(sizes);
+  return *this;
+}
+
+Experiment& Experiment::vary(std::string axis, std::vector<AxisPoint> points) {
+  EREL_CHECK(!points.empty(), "vary axis '", axis, "' has no points");
+  axes_.push_back(Axis{std::move(axis), std::move(points)});
+  return *this;
+}
+
+Experiment& Experiment::sampling(sim::SamplingConfig config) {
+  sampling_ = config;
+  return *this;
+}
+
+std::vector<Experiment::Cell> Experiment::materialize() const {
+  EREL_CHECK(!workloads_.empty(), "experiment has no workloads");
+  const std::vector<core::PolicyKind> policies =
+      policies_.empty() ? std::vector<core::PolicyKind>{base_.policy}
+                        : policies_;
+  // An empty phys axis keeps the base config's (possibly asymmetric) sizes;
+  // the key then records phys_int as the nominal coordinate.
+  const bool sweep_phys = !phys_.empty();
+  const std::vector<unsigned> sizes =
+      sweep_phys ? phys_ : std::vector<unsigned>{base_.phys_int};
+
+  // Cross-multiply the vary() axes into (variant label, combined mutator)
+  // pairs, declaration order, last axis fastest.
+  struct Variant {
+    std::string label;
+    std::vector<const AxisPoint*> points;
+  };
+  std::vector<Variant> variants{{std::string(), {}}};
+  for (const Axis& axis : axes_) {
+    std::vector<Variant> next;
+    next.reserve(variants.size() * axis.points.size());
+    for (const Variant& v : variants) {
+      for (const AxisPoint& point : axis.points) {
+        Variant combined = v;
+        if (!combined.label.empty()) combined.label += ',';
+        combined.label += axis.name + '=' + point.label;
+        combined.points.push_back(&point);
+        next.push_back(std::move(combined));
+      }
+    }
+    variants = std::move(next);
+  }
+
+  std::vector<Cell> cells;
+  cells.reserve(workloads_.size() * policies.size() * sizes.size() *
+                variants.size());
+  for (const std::string& workload : workloads_) {
+    for (const core::PolicyKind policy : policies) {
+      for (const unsigned phys : sizes) {
+        for (const Variant& variant : variants) {
+          sim::SimConfig config = base_;
+          config.policy = policy;
+          if (sweep_phys) {
+            config.phys_int = phys;
+            config.phys_fp = phys;
+          }
+          for (const AxisPoint* point : variant.points)
+            point->apply(config);
+          Cell cell;
+          cell.key = ExpKey{workload, policy, phys, variant.label};
+          cell.spec = RunSpec{workload, std::move(config),
+                              cell.key.to_string(), sampling_};
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+std::optional<ExpEntry> load_cache_file(const std::string& path,
+                                        std::string_view fp_hex,
+                                        const ExpKey& key) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::optional<ExpEntry> entry = parse_entry(buffer.str(), fp_hex, key);
+  if (!entry)
+    EREL_WARN("ignoring cache entry ", path,
+              " (malformed, stale, or from a different cell; treated as a "
+              "miss for ", key.to_string(), ")");
+  return entry;
+}
+
+void save_cache_file(const std::string& path, const std::string& content) {
+  // Atomic publish: concurrent sweeps may race on the same fingerprint, but
+  // rename() ensures readers only ever see complete entries (and identical
+  // fingerprints imply identical contents, so last-writer-wins is fine).
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      EREL_WARN("cannot write cache entry ", tmp);
+      return;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      EREL_WARN("short write to cache entry ", tmp);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) EREL_WARN("cannot publish cache entry ", path, ": ", ec.message());
+}
+
+}  // namespace
+
+ResultSet Experiment::run(const RunOptions& opts) const {
+  const std::vector<Cell> cells = materialize();
+  const bool use_cache = !opts.cache_dir.empty();
+  if (use_cache) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.cache_dir, ec);
+    EREL_CHECK(!ec, "cannot create cache dir '", opts.cache_dir, "': ",
+               ec.message());
+  }
+
+  std::vector<std::optional<ExpEntry>> ready(cells.size());
+  std::vector<std::string> cache_path(cells.size());
+  std::vector<std::string> fp_hex(cells.size());
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    if (use_cache && fingerprintable(cell.spec.workload, cell.spec.config)) {
+      fp_hex[i] = fingerprint_cell(cell.spec.workload, cell.spec.config,
+                                   cell.spec.sampling)
+                      .hex();
+      cache_path[i] = opts.cache_dir + "/" + fp_hex[i] + ".erelres";
+      ready[i] = load_cache_file(cache_path[i], fp_hex[i], cell.key);
+      if (ready[i]) continue;
+    }
+    pending.push_back(i);
+  }
+
+  if (!pending.empty()) {
+    std::vector<RunSpec> specs;
+    specs.reserve(pending.size());
+    for (const std::size_t i : pending) specs.push_back(cells[i].spec);
+    const std::vector<RunResult> results = run_all(specs, opts.threads);
+    for (std::size_t j = 0; j < pending.size(); ++j) {
+      const std::size_t i = pending[j];
+      ExpEntry entry{cells[i].key, results[j].stats, results[j].sampled,
+                     /*from_cache=*/false};
+      if (!cache_path[i].empty())
+        save_cache_file(cache_path[i], serialize_entry(entry, fp_hex[i]));
+      ready[i] = std::move(entry);
+    }
+  }
+
+  ResultSet rs;
+  for (std::optional<ExpEntry>& entry : ready) rs.add(std::move(*entry));
+  return rs;
+}
+
+}  // namespace erel::harness

@@ -1,0 +1,64 @@
+// Content-addressed fingerprints for experiment cells.
+//
+// A fingerprint is a 64-bit FNV-1a hash over a canonical text rendering of
+// everything that determines a cell's simulation result:
+//
+//   erel-fp-v1                      format version (bump to flush caches)
+//   workload=<name>
+//   workload_content=<hash>         assembly source, or trace file bytes
+//   <SimConfig canonical fields>    sim::append_canonical_fields
+//   sampling=none | <SamplingConfig canonical fields>
+//
+// Two cells with equal fingerprints therefore produce bit-identical
+// statistics, which is what lets `Experiment::run` reuse on-disk results
+// across processes: the cache file name *is* the fingerprint
+// (<hex16>.erelres in the cache directory). Thread counts are excluded on
+// both levels (harness pool size and SamplingConfig::threads) because they
+// never change results, only wall-clock.
+//
+// Registry workloads hash their generated assembly text, so a kernel
+// generator change invalidates exactly that kernel's entries. Trace
+// workloads ("trace:<path>") hash the trace file's bytes in streaming
+// 64 KB chunks, so a re-recorded trace never aliases a stale result.
+//
+// Configs carrying user callbacks (SimConfig::policy_factory / trace hook)
+// have no stable content to hash; `fingerprintable` returns false and the
+// experiment layer simply re-runs those cells every time.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/config.hpp"
+#include "sim/sampling.hpp"
+
+namespace erel::harness {
+
+/// 64-bit FNV-1a (offset 14695981039346656037, prime 1099511628211).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes,
+                                    std::uint64_t seed = 14695981039346656037ull);
+
+struct Fingerprint {
+  std::uint64_t value = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+
+  /// 16 lowercase hex digits, the cache file basename.
+  [[nodiscard]] std::string hex() const;
+};
+
+/// True when the (workload, config) cell can be cached: the config carries
+/// no user callbacks and the workload's content is resolvable (registered
+/// kernel, or an existing trace file).
+[[nodiscard]] bool fingerprintable(const std::string& workload,
+                                   const sim::SimConfig& config);
+
+/// Fingerprint of one experiment cell. Aborts (via the workload registry)
+/// on unknown workload names; call `fingerprintable` first.
+[[nodiscard]] Fingerprint fingerprint_cell(
+    const std::string& workload, const sim::SimConfig& config,
+    const std::optional<sim::SamplingConfig>& sampling);
+
+}  // namespace erel::harness

@@ -1,5 +1,10 @@
 // Experiment harness: runs batches of independent simulations across a
 // thread pool and aggregates the series the paper's tables/figures report.
+//
+// This is the flat runner layer. Sweeps should normally be declared through
+// harness::Experiment (harness/experiment.hpp), which materializes axis
+// cross-products into structurally-keyed RunSpecs, serves cells from the
+// on-disk result cache, and returns a typed harness::ResultSet.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,55 @@
+#include "sim/config.hpp"
+
+namespace erel::sim {
+
+bool config_fingerprintable(const SimConfig& config) {
+  return !config.policy_factory && !config.trace;
+}
+
+namespace {
+
+void field(std::string& out, std::string_view name, std::uint64_t value) {
+  out += name;
+  out += '=';
+  out += std::to_string(value);
+  out += '\n';
+}
+
+}  // namespace
+
+void append_canonical_fields(const SimConfig& config, std::string& out) {
+  field(out, "policy", static_cast<std::uint64_t>(config.policy));
+  field(out, "phys_int", config.phys_int);
+  field(out, "phys_fp", config.phys_fp);
+  field(out, "ros_size", config.ros_size);
+  field(out, "lsq_size", config.lsq_size);
+  field(out, "decode_width", config.decode_width);
+  field(out, "issue_width", config.issue_width);
+  field(out, "commit_width", config.commit_width);
+  field(out, "max_pending_branches", config.max_pending_branches);
+  field(out, "ghr_bits", config.ghr_bits);
+  field(out, "fetch.width", config.fetch.width);
+  field(out, "fetch.max_blocks_per_cycle", config.fetch.max_blocks_per_cycle);
+  field(out, "fetch.buffer_capacity", config.fetch.buffer_capacity);
+  field(out, "fus.int_alu", config.fus.int_alu);
+  field(out, "fus.int_mul", config.fus.int_mul);
+  field(out, "fus.fp_alu", config.fus.fp_alu);
+  field(out, "fus.fp_mul", config.fus.fp_mul);
+  field(out, "fus.fp_div", config.fus.fp_div);
+  field(out, "fus.ld_st", config.fus.ld_st);
+  for (const mem::CacheConfig* cache :
+       {&config.memory.l1i, &config.memory.l1d, &config.memory.l2}) {
+    const std::string prefix = "memory." + cache->name + ".";
+    field(out, prefix + "size_bytes", cache->size_bytes);
+    field(out, prefix + "associativity", cache->associativity);
+    field(out, prefix + "line_bytes", cache->line_bytes);
+    field(out, prefix + "hit_latency", cache->hit_latency);
+  }
+  field(out, "memory.memory_latency", config.memory.memory_latency);
+  field(out, "max_cycles", config.max_cycles);
+  field(out, "max_instructions", config.max_instructions);
+  field(out, "check_oracle", config.check_oracle ? 1 : 0);
+  field(out, "flush_period", config.flush_period);
+}
+
+}  // namespace erel::sim

@@ -67,4 +67,16 @@ struct SimConfig {
   }
 };
 
+/// True when the config's simulation results are a pure function of the
+/// fields below — i.e. no user-supplied callbacks. Configs carrying a
+/// `policy_factory` or a `trace` hook cannot be fingerprinted for the
+/// on-disk result cache (harness/fingerprint.hpp) and are always re-run.
+[[nodiscard]] bool config_fingerprintable(const SimConfig& config);
+
+/// Appends every result-affecting field as canonical `name=value` lines.
+/// This is the stable serialization the experiment-result cache hashes:
+/// adding, removing or reordering a field here invalidates old cache
+/// entries (by design — the hash must change when semantics can).
+void append_canonical_fields(const SimConfig& config, std::string& out);
+
 }  // namespace erel::sim

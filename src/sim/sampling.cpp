@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <memory>
 #include <numeric>
@@ -130,6 +131,29 @@ Placement parse_placement(std::string_view name) {
   if (name == "stratified") return Placement::kStratified;
   EREL_FATAL("unknown placement mode '", name,
              "' (expected periodic|random|stratified)");
+}
+
+void append_canonical_fields(const SamplingConfig& sampling, std::string& out) {
+  const auto field = [&out](std::string_view name, std::uint64_t value) {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  field("sampling.period", sampling.period);
+  field("sampling.warmup", sampling.warmup);
+  field("sampling.detail", sampling.detail);
+  field("sampling.max_samples", sampling.max_samples);
+  field("sampling.functional_warming", sampling.functional_warming ? 1 : 0);
+  field("sampling.placement", static_cast<std::uint64_t>(sampling.placement));
+  field("sampling.seed", sampling.seed);
+  // target_ci is a double; print the exact bit pattern rather than a
+  // rounded decimal so equal configs always hash equally.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%a", sampling.target_ci);
+  out += "sampling.target_ci=";
+  out += buf;
+  out += '\n';
 }
 
 SampledSimulator::SampledSimulator(SimConfig config, SamplingConfig sampling)

@@ -56,6 +56,15 @@ std::string_view placement_name(Placement placement);
 /// Inverse of placement_name; aborts on an unknown name.
 Placement parse_placement(std::string_view name);
 
+struct SamplingConfig;
+
+/// Appends every result-affecting SamplingConfig field as canonical
+/// `name=value` lines for the experiment-result cache fingerprint
+/// (harness/fingerprint.hpp). `threads` is deliberately excluded: sharded
+/// measurement is bit-identical to serial at any thread count, so the same
+/// cached result serves both.
+void append_canonical_fields(const SamplingConfig& sampling, std::string& out);
+
 struct SamplingConfig {
   /// Instructions between consecutive sampling-unit starts (exactly, for
   /// `kPeriodic`; in expectation, for the randomized modes). Must exceed

@@ -1,0 +1,564 @@
+// The Experiment API v2 layer: builder materialization, typed ResultSet
+// (aggregates, CSV/JSON sinks), config fingerprinting, and the on-disk
+// result cache (hit / miss-then-resume).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/table.hpp"
+#include "harness/experiment.hpp"
+#include "harness/fingerprint.hpp"
+#include "harness/harness.hpp"
+#include "harness/results.hpp"
+
+namespace erel {
+namespace {
+
+namespace fs = std::filesystem;
+using core::PolicyKind;
+
+/// Tiny base config: capped run so the cache tests simulate milliseconds.
+sim::SimConfig tiny_config() {
+  sim::SimConfig config;
+  config.check_oracle = false;
+  config.max_instructions = 20'000;
+  return config;
+}
+
+/// Self-cleaning unique temp directory per test.
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("erel-test-" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+// ---------------------------------------------------------------------------
+// Materialization
+// ---------------------------------------------------------------------------
+
+TEST(Experiment, MaterializesCrossProductInDocumentedOrder) {
+  const auto cells = harness::Experiment()
+                         .workloads({"li", "swim"})
+                         .policies({PolicyKind::Conventional,
+                                    PolicyKind::Extended})
+                         .phys_regs({40, 48})
+                         .materialize();
+  ASSERT_EQ(cells.size(), 8u);
+  // Workloads outermost, then policies, then sizes.
+  EXPECT_EQ(cells[0].key,
+            (harness::ExpKey{"li", PolicyKind::Conventional, 40, ""}));
+  EXPECT_EQ(cells[1].key,
+            (harness::ExpKey{"li", PolicyKind::Conventional, 48, ""}));
+  EXPECT_EQ(cells[2].key,
+            (harness::ExpKey{"li", PolicyKind::Extended, 40, ""}));
+  EXPECT_EQ(cells[3].key,
+            (harness::ExpKey{"li", PolicyKind::Extended, 48, ""}));
+  EXPECT_EQ(cells[4].key,
+            (harness::ExpKey{"swim", PolicyKind::Conventional, 40, ""}));
+  EXPECT_EQ(cells[7].key,
+            (harness::ExpKey{"swim", PolicyKind::Extended, 48, ""}));
+  // Specs carry the mutated config and a structured tag.
+  EXPECT_EQ(cells[3].spec.config.policy, PolicyKind::Extended);
+  EXPECT_EQ(cells[3].spec.config.phys_int, 48u);
+  EXPECT_EQ(cells[3].spec.config.phys_fp, 48u);
+  EXPECT_EQ(cells[3].spec.tag, "li/extended/48");
+}
+
+TEST(Experiment, VaryAxesCrossMultiplyIntoVariantLabels) {
+  const auto cells =
+      harness::Experiment()
+          .workloads({"li"})
+          .vary("ros", {{"64", [](sim::SimConfig& c) { c.ros_size = 64; }},
+                        {"128", [](sim::SimConfig& c) { c.ros_size = 128; }}})
+          .vary("lsq", {{"32", [](sim::SimConfig& c) { c.lsq_size = 32; }}})
+          .materialize();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].key.variant, "ros=64,lsq=32");
+  EXPECT_EQ(cells[1].key.variant, "ros=128,lsq=32");
+  EXPECT_EQ(cells[0].spec.config.ros_size, 64u);
+  EXPECT_EQ(cells[0].spec.config.lsq_size, 32u);
+  EXPECT_EQ(cells[1].spec.config.ros_size, 128u);
+}
+
+TEST(Experiment, DefaultsKeepBaseConfigAxes) {
+  sim::SimConfig base = tiny_config();
+  base.policy = PolicyKind::Basic;
+  base.phys_int = base.phys_fp = 72;
+  const auto cells =
+      harness::Experiment().base(base).workloads({"li"}).materialize();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].key.policy, PolicyKind::Basic);
+  EXPECT_EQ(cells[0].key.phys, 72u);
+  EXPECT_EQ(cells[0].spec.config.phys_fp, 72u);
+}
+
+TEST(Experiment, SamplingRidesAlongOnEveryCell) {
+  sim::SamplingConfig sampling;
+  sampling.period = 50'000;
+  const auto cells = harness::Experiment()
+                         .workloads({"li"})
+                         .sampling(sampling)
+                         .materialize();
+  ASSERT_EQ(cells.size(), 1u);
+  ASSERT_TRUE(cells[0].spec.sampling.has_value());
+  EXPECT_EQ(cells[0].spec.sampling->period, 50'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Policy name round-trip (CLI parser / JSON sink dependency)
+// ---------------------------------------------------------------------------
+
+TEST(PolicyName, RoundTripsThroughParse) {
+  for (const PolicyKind kind : core::all_policies())
+    EXPECT_EQ(core::parse_policy(core::policy_name(kind)), kind);
+}
+
+TEST(PolicyName, AcceptsLongAliases) {
+  EXPECT_EQ(core::parse_policy("conventional"), PolicyKind::Conventional);
+  EXPECT_EQ(core::parse_policy("ext"), PolicyKind::Extended);
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprint, StableForEqualConfigs) {
+  const sim::SimConfig a = tiny_config();
+  const sim::SimConfig b = tiny_config();
+  EXPECT_EQ(harness::fingerprint_cell("li", a, {}).value,
+            harness::fingerprint_cell("li", b, {}).value);
+}
+
+TEST(Fingerprint, AnyFieldChangeChangesTheHash) {
+  const sim::SimConfig base = tiny_config();
+  const std::uint64_t ref = harness::fingerprint_cell("li", base, {}).value;
+
+  const auto mutated = [&](auto&& mutate) {
+    sim::SimConfig c = base;
+    mutate(c);
+    return harness::fingerprint_cell("li", c, {}).value;
+  };
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.policy = PolicyKind::Basic; }),
+            ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.phys_int = 41; }), ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.phys_fp = 41; }), ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.ros_size = 64; }), ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.lsq_size = 32; }), ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.commit_width = 4; }), ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.max_pending_branches = 8; }),
+            ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.ghr_bits = 12; }), ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.fetch.width = 4; }), ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.fus.int_alu = 2; }), ref);
+  EXPECT_NE(
+      mutated([](sim::SimConfig& c) { c.memory.l1d.size_bytes = 1024; }),
+      ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.memory.memory_latency = 99; }),
+            ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.max_cycles = 123; }), ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.max_instructions = 1; }), ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.check_oracle = true; }), ref);
+  EXPECT_NE(mutated([](sim::SimConfig& c) { c.flush_period = 7; }), ref);
+}
+
+TEST(Fingerprint, WorkloadIdentityAndSamplingMatter) {
+  const sim::SimConfig config = tiny_config();
+  const std::uint64_t li = harness::fingerprint_cell("li", config, {}).value;
+  EXPECT_NE(harness::fingerprint_cell("go", config, {}).value, li);
+
+  sim::SamplingConfig sampling;
+  const std::uint64_t sampled =
+      harness::fingerprint_cell("li", config, sampling).value;
+  EXPECT_NE(sampled, li);
+  sim::SamplingConfig other = sampling;
+  other.period = sampling.period + 1;
+  EXPECT_NE(harness::fingerprint_cell("li", config, other).value, sampled);
+  other = sampling;
+  other.seed = 99;
+  EXPECT_NE(harness::fingerprint_cell("li", config, other).value, sampled);
+}
+
+TEST(Fingerprint, ThreadCountNeverChangesTheHash) {
+  // Sharding is bit-identical to serial, so the cache must serve both.
+  const sim::SimConfig config = tiny_config();
+  sim::SamplingConfig serial;
+  serial.threads = 1;
+  sim::SamplingConfig sharded = serial;
+  sharded.threads = 8;
+  EXPECT_EQ(harness::fingerprint_cell("li", config, serial).value,
+            harness::fingerprint_cell("li", config, sharded).value);
+}
+
+TEST(Fingerprint, CallbacksAreNotFingerprintable) {
+  sim::SimConfig config = tiny_config();
+  EXPECT_TRUE(harness::fingerprintable("li", config));
+  config.trace = [](const sim::SimConfig::TraceEvent&) {};
+  EXPECT_FALSE(harness::fingerprintable("li", config));
+  sim::SimConfig config2 = tiny_config();
+  config2.policy_factory = [](core::RC, core::RegFileState& rf,
+                              core::PipelineHooks& hooks) {
+    return core::make_policy(PolicyKind::Conventional, rf, hooks);
+  };
+  EXPECT_FALSE(harness::fingerprintable("li", config2));
+}
+
+// ---------------------------------------------------------------------------
+// Cache entry serialization round-trip
+// ---------------------------------------------------------------------------
+
+harness::ExpEntry fake_entry() {
+  harness::ExpEntry e;
+  e.key = {"li", PolicyKind::Extended, 48, "lsq=32"};
+  e.stats.cycles = 12345;
+  e.stats.committed = 6789;
+  e.stats.halted = true;
+  e.stats.branches.cond_branches = 42;
+  e.stats.branches.cond_mispredicts = 7;
+  e.stats.stalls.free_list_empty = 11;
+  e.stats.policy_stats[0].reuses = 3;
+  e.stats.policy_stats[1].early_commit_releases = 5;
+  e.stats.occupancy[0].avg_idle = 12.625;
+  e.stats.occupancy[1].avg_ready = 0.1;  // not exactly representable
+  e.stats.squash_released[1] = 9;
+  e.stats.l1d.accesses = 1000;
+  e.stats.l1d.misses = 31;
+  sim::SampledStats s;
+  s.estimate = e.stats;
+  s.cpi_mean = 1.23456789012345e-1;
+  s.ipc_ci95 = 0.0421;
+  s.total_instructions = 999999;
+  s.units_planned = 12;
+  s.degenerate_windows = 1;
+  s.samples = {{0, 100, 200}, {5000, 100, 150}};
+  e.sampled = std::move(s);
+  return e;
+}
+
+TEST(ResultCache, SerializedEntryRoundTripsBitExactly) {
+  const harness::ExpEntry e = fake_entry();
+  const std::string text = harness::serialize_entry(e, "00ff00ff00ff00ff");
+  const auto back = harness::parse_entry(text, "00ff00ff00ff00ff", e.key);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->from_cache);
+  EXPECT_EQ(back->key, e.key);
+  EXPECT_EQ(back->stats.cycles, e.stats.cycles);
+  EXPECT_EQ(back->stats.committed, e.stats.committed);
+  EXPECT_EQ(back->stats.halted, e.stats.halted);
+  EXPECT_EQ(back->stats.branches.cond_mispredicts, 7u);
+  EXPECT_EQ(back->stats.policy_stats[0].reuses, 3u);
+  EXPECT_EQ(back->stats.policy_stats[1].early_commit_releases, 5u);
+  EXPECT_EQ(back->stats.occupancy[0].avg_idle, 12.625);
+  EXPECT_EQ(back->stats.occupancy[1].avg_ready, 0.1);  // %.17g: bit-exact
+  EXPECT_EQ(back->stats.squash_released[1], 9u);
+  EXPECT_EQ(back->stats.l1d.misses, 31u);
+  ASSERT_TRUE(back->sampled.has_value());
+  EXPECT_EQ(back->sampled->cpi_mean, e.sampled->cpi_mean);
+  EXPECT_EQ(back->sampled->ipc_ci95, e.sampled->ipc_ci95);
+  EXPECT_EQ(back->sampled->total_instructions, 999999u);
+  EXPECT_EQ(back->sampled->units_planned, 12u);
+  EXPECT_EQ(back->sampled->samples, e.sampled->samples);
+}
+
+TEST(ResultCache, RejectsMismatchesAndTruncation) {
+  const harness::ExpEntry e = fake_entry();
+  const std::string text = harness::serialize_entry(e, "00ff00ff00ff00ff");
+  // Wrong fingerprint (collision / renamed file).
+  EXPECT_FALSE(harness::parse_entry(text, "deadbeefdeadbeef", e.key));
+  // Wrong key (same fingerprint file, different expected cell).
+  harness::ExpKey other = e.key;
+  other.phys = 40;
+  EXPECT_FALSE(harness::parse_entry(text, "00ff00ff00ff00ff", other));
+  // Truncated write (no "end" marker).
+  EXPECT_FALSE(harness::parse_entry(text.substr(0, text.size() / 2),
+                                    "00ff00ff00ff00ff", e.key));
+  // Garbage.
+  EXPECT_FALSE(harness::parse_entry("not a cache file", "00", e.key));
+}
+
+TEST(ResultCache, VariantLabelAliasIsAHitNotAThrash) {
+  // Two vary() labelings can mutate a config into identical values (e.g.
+  // "maxbr=20" vs the default). Equal fingerprints imply identical stats,
+  // so the entry must serve both keys — rekeyed to the expected cell —
+  // instead of the two sweeps evicting each other's entries forever.
+  const harness::ExpEntry e = fake_entry();  // stored variant: "lsq=32"
+  const std::string text = harness::serialize_entry(e, "00ff00ff00ff00ff");
+  harness::ExpKey alias = e.key;
+  alias.variant = "";
+  const auto hit = harness::parse_entry(text, "00ff00ff00ff00ff", alias);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->key, alias);  // carries the expected key, not the stored one
+  EXPECT_EQ(hit->stats.cycles, e.stats.cycles);
+}
+
+TEST(ResultCache, CorruptValueIsAMissNotAWrongNumber) {
+  const harness::ExpEntry e = fake_entry();
+  const std::string good = harness::serialize_entry(e, "00ff00ff00ff00ff");
+  const auto corrupt = [&](const std::string& from, const std::string& to) {
+    std::string text = good;
+    const std::size_t pos = text.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    text.replace(pos, from.size(), to);
+    return harness::parse_entry(text, "00ff00ff00ff00ff", e.key);
+  };
+  // Bit-flip inside an integer: must reject, not parse the prefix.
+  EXPECT_FALSE(corrupt("stats.cycles 12345", "stats.cycles 1x345"));
+  // Garbage double (12.625 renders exactly under %.17g).
+  EXPECT_FALSE(corrupt("stats.int.avg_idle 12.625", "stats.int.avg_idle abc"));
+  // Garbage bool.
+  EXPECT_FALSE(corrupt("stats.halted 1", "stats.halted yes"));
+  // Control: untouched text still parses.
+  EXPECT_TRUE(harness::parse_entry(good, "00ff00ff00ff00ff", e.key));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end cache behaviour
+// ---------------------------------------------------------------------------
+
+TEST(ResultCache, MissThenHitThenResume) {
+  TempDir dir;
+  const auto build = [&](std::vector<unsigned> sizes) {
+    harness::Experiment exp;
+    exp.base(tiny_config()).workloads({"li"}).policies(
+        {PolicyKind::Conventional}).phys_regs(std::move(sizes));
+    return exp;
+  };
+
+  // Cold: everything simulates.
+  const harness::ResultSet first =
+      build({48, 96}).run({.threads = 2, .cache_dir = dir.str()});
+  EXPECT_EQ(first.size(), 2u);
+  EXPECT_EQ(first.cache_hits(), 0u);
+  EXPECT_EQ(first.simulated(), 2u);
+
+  // Warm rerun: zero re-simulations, identical stats.
+  const harness::ResultSet second =
+      build({48, 96}).run({.threads = 2, .cache_dir = dir.str()});
+  EXPECT_EQ(second.cache_hits(), 2u);
+  EXPECT_EQ(second.simulated(), 0u);
+  for (const unsigned p : {48u, 96u}) {
+    const harness::ExpKey key{"li", PolicyKind::Conventional, p, ""};
+    EXPECT_EQ(second.stats(key).cycles, first.stats(key).cycles);
+    EXPECT_EQ(second.stats(key).committed, first.stats(key).committed);
+  }
+
+  // Grown grid (interrupted-sweep resume): only the new cell simulates.
+  const harness::ResultSet third =
+      build({48, 96, 64}).run({.threads = 2, .cache_dir = dir.str()});
+  EXPECT_EQ(third.size(), 3u);
+  EXPECT_EQ(third.cache_hits(), 2u);
+  EXPECT_EQ(third.simulated(), 1u);
+}
+
+TEST(ResultCache, CorruptEntryIsAMissNotAWrongResult) {
+  TempDir dir;
+  harness::Experiment exp;
+  exp.base(tiny_config()).workloads({"li"}).phys_regs({48});
+  const harness::ResultSet first = exp.run({.cache_dir = dir.str()});
+  EXPECT_EQ(first.simulated(), 1u);
+
+  // Truncate every cache entry mid-file.
+  for (const auto& f : fs::directory_iterator(dir.path)) {
+    std::ifstream in(f.path(), std::ios::binary);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    in.close();
+    std::ofstream out(f.path(), std::ios::binary | std::ios::trunc);
+    out << buf.str().substr(0, buf.str().size() / 3);
+  }
+  const harness::ResultSet again = exp.run({.cache_dir = dir.str()});
+  EXPECT_EQ(again.cache_hits(), 0u);
+  EXPECT_EQ(again.simulated(), 1u);
+}
+
+TEST(ResultCache, SampledRunsCacheWithCI) {
+  TempDir dir;
+  sim::SimConfig config;
+  config.check_oracle = false;
+  sim::SamplingConfig sampling;
+  sampling.period = 30'000;
+  sampling.warmup = 1'000;
+  sampling.detail = 5'000;
+  sampling.placement = sim::Placement::kStratified;
+  harness::Experiment exp;
+  exp.base(config).workloads({"li"}).phys_regs({64}).sampling(sampling);
+
+  const harness::ResultSet first = exp.run({.cache_dir = dir.str()});
+  ASSERT_TRUE(first.entries()[0].sampled.has_value());
+  EXPECT_EQ(first.simulated(), 1u);
+
+  const harness::ResultSet second = exp.run({.cache_dir = dir.str()});
+  EXPECT_EQ(second.cache_hits(), 1u);
+  ASSERT_TRUE(second.entries()[0].sampled.has_value());
+  EXPECT_EQ(second.entries()[0].sampled->samples,
+            first.entries()[0].sampled->samples);
+  EXPECT_EQ(second.entries()[0].sampled->ipc_ci95,
+            first.entries()[0].sampled->ipc_ci95);
+  EXPECT_EQ(second.entries()[0].stats.cycles, first.entries()[0].stats.cycles);
+}
+
+// ---------------------------------------------------------------------------
+// ResultSet aggregates and sinks
+// ---------------------------------------------------------------------------
+
+harness::ResultSet run_small_grid() {
+  harness::Experiment exp;
+  exp.base(tiny_config())
+      .workloads({"li", "go"})
+      .policies({PolicyKind::Conventional, PolicyKind::Extended})
+      .phys_regs({48});
+  harness::RunOptions opts;
+  opts.threads = 4;
+  return exp.run(opts);
+}
+
+TEST(ResultSet, HmeanMatchesHarnessHarmonicMean) {
+  const harness::ResultSet rs = run_small_grid();
+  const std::vector<std::string> names = {"li", "go"};
+  const double ipc_li = rs.ipc({"li", PolicyKind::Conventional, 48, ""});
+  const double ipc_go = rs.ipc({"go", PolicyKind::Conventional, 48, ""});
+  const double expect = harness::harmonic_mean({{ipc_li, ipc_go}});
+  EXPECT_NEAR(rs.hmean_ipc(names, PolicyKind::Conventional, 48), expect,
+              1e-12);
+  EXPECT_GT(expect, 0.0);
+}
+
+TEST(ResultSet, SlicesReportAxesInFirstSeenOrder) {
+  const harness::ResultSet rs = run_small_grid();
+  EXPECT_EQ(rs.workloads(), (std::vector<std::string>{"li", "go"}));
+  EXPECT_EQ(rs.policies(), (std::vector<PolicyKind>{
+                               PolicyKind::Conventional,
+                               PolicyKind::Extended}));
+  EXPECT_EQ(rs.phys_sizes(), (std::vector<unsigned>{48}));
+  EXPECT_EQ(rs.variants(), (std::vector<std::string>{""}));
+}
+
+TEST(ResultSet, CsvRoundTripsKeysAndValues) {
+  TempDir dir;
+  const harness::ResultSet rs = run_small_grid();
+  const std::string path = (dir.path / "out.csv").string();
+  rs.write_csv(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line.substr(0, 29), "workload,policy,phys,variant,");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    // cells are simple (no quoting needed): split on commas.
+    std::vector<std::string> cols;
+    std::stringstream ss(line);
+    std::string col;
+    while (std::getline(ss, col, ',')) cols.push_back(col);
+    ASSERT_EQ(cols.size(), 13u) << line;
+    const harness::ExpKey key{
+        cols[0], core::parse_policy(cols[1]),
+        static_cast<unsigned>(std::stoul(cols[2])), cols[3]};
+    ASSERT_TRUE(rs.contains(key)) << key.to_string();
+    EXPECT_EQ(cols[4], "full");
+    EXPECT_EQ(std::stoull(cols[6]), rs.stats(key).committed);
+    EXPECT_EQ(std::stoull(cols[7]), rs.stats(key).cycles);
+    EXPECT_DOUBLE_EQ(std::stod(cols[8]), rs.ipc(key));  // %.17g: exact
+    ++rows;
+  }
+  EXPECT_EQ(rows, rs.size());
+}
+
+TEST(ResultSet, JsonSinkEmitsEveryCellWithStats) {
+  TempDir dir;
+  const harness::ResultSet rs = run_small_grid();
+  const std::string path = (dir.path / "out.json").string();
+  rs.write_json(path);
+
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  // Structural sanity: balanced braces/brackets, schema marker, all keys.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"schema\": \"erel-resultset-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\": \"li\""), std::string::npos);
+  EXPECT_NE(json.find("\"workload\": \"go\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\": \"extended\""), std::string::npos);
+  EXPECT_NE(json.find("\"stalls.free_list_empty\""), std::string::npos);
+  char committed[64];
+  std::snprintf(committed, sizeof committed, "\"committed\": %llu",
+                static_cast<unsigned long long>(
+                    rs.entries()[0].stats.committed));
+  EXPECT_NE(json.find(committed), std::string::npos);
+}
+
+TEST(ResultSet, DuplicateCellIsFatal) {
+  harness::ResultSet rs;
+  harness::ExpEntry e;
+  e.key = {"li", PolicyKind::Conventional, 48, ""};
+  rs.add(e);
+  EXPECT_DEATH(rs.add(e), "duplicate");
+}
+
+TEST(ResultSet, MissingCellIsFatalWithCoordinates) {
+  const harness::ResultSet rs;
+  EXPECT_DEATH((void)rs.ipc({"li", PolicyKind::Conventional, 48, ""}),
+               "li/conv/48");
+}
+
+// ---------------------------------------------------------------------------
+// TextTable degenerate-series guards
+// ---------------------------------------------------------------------------
+
+TEST(TextTable, NonFiniteRendersAsNA) {
+  EXPECT_EQ(TextTable::pct(std::numeric_limits<double>::infinity()), "n/a");
+  EXPECT_EQ(TextTable::pct(std::numeric_limits<double>::quiet_NaN()), "n/a");
+  EXPECT_EQ(TextTable::num(std::numeric_limits<double>::infinity()), "n/a");
+  EXPECT_EQ(TextTable::pct(0.125), "12.5%");
+}
+
+TEST(TextTable, SpeedupGuardsZeroBaseline) {
+  EXPECT_EQ(TextTable::speedup_pct(1.5, 0.0), "n/a");
+  EXPECT_EQ(TextTable::speedup_pct(0.0, 1.5), "n/a");
+  EXPECT_EQ(TextTable::speedup_pct(1.2, 1.0), "20.0%");
+}
+
+TEST(ResultSet, SpeedupVsZeroBaselineIsNaNNotInf) {
+  // A ResultSet with a zero-IPC cell: hmean collapses to 0 and speedups
+  // must come out NaN (rendered "n/a"), never inf.
+  harness::ResultSet rs;
+  harness::ExpEntry conv;
+  conv.key = {"li", PolicyKind::Conventional, 48, ""};
+  conv.stats.cycles = 100;
+  conv.stats.committed = 0;  // IPC 0
+  rs.add(conv);
+  harness::ExpEntry ext;
+  ext.key = {"li", PolicyKind::Extended, 48, ""};
+  ext.stats.cycles = 100;
+  ext.stats.committed = 50;
+  rs.add(ext);
+  const double s = rs.speedup_vs({"li"}, PolicyKind::Extended,
+                                 PolicyKind::Conventional, 48);
+  EXPECT_TRUE(std::isnan(s));
+  EXPECT_EQ(TextTable::pct(s), "n/a");
+  EXPECT_EQ(rs.hmean_ipc({"li"}, PolicyKind::Conventional, 48), 0.0);
+}
+
+}  // namespace
+}  // namespace erel
