@@ -11,11 +11,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "power/probe.hpp"
 #include "workloads/workloads.hpp"
 
 namespace erel::benchutil {
@@ -39,6 +41,8 @@ namespace cli {
 /// Options common to every sweep binary. `--smoke` shrinks the grid (two
 /// short kernels, few sizes, small sampling windows) so CI can execute the
 /// binaries end-to-end on every PR instead of only compiling them.
+/// Positional arguments name a workload subset (registry kernels or
+/// "trace:<path>"); unknown names are rejected with a usage message.
 struct Options {
   unsigned threads = 0;  // --threads=N     harness pool (0 = hardware)
   bool sample = false;   // --sample        checkpointed interval sampling
@@ -52,9 +56,24 @@ struct Options {
   std::string json_path;            // --json=PATH     ResultSet JSON sink
   std::string cache_dir;            // --cache-dir=PATH  result cache
   bool smoke = false;               // --smoke         tiny CI grid
+  bool power = false;               // --power         RixnerProbe columns
+  std::string timeseries_path;      // --timeseries=PATH  per-stride CSV
+  std::uint64_t stride = 0;         // --stride=N      channel stride (cycles)
   std::vector<core::PolicyKind> policies =
       core::all_policies();         // --policies=a,b,c subset filter
   std::vector<std::string> positional;
+
+  /// Attaches the probes the flags ask for (--power) to an experiment.
+  void add_probes(harness::Experiment& exp) const {
+    if (power)
+      exp.probe("power",
+                [] { return std::make_unique<power::RixnerProbe>(); });
+  }
+
+  /// Channel stride honoring --stride and --smoke.
+  [[nodiscard]] std::uint64_t stat_stride() const {
+    return stride != 0 ? stride : (smoke ? 500 : 1000);
+  }
 
   /// Sampling parameters sized for the grid: registry kernels run a few
   /// hundred thousand instructions, so the full-scale defaults already
@@ -73,33 +92,72 @@ struct Options {
     return {threads, cache_dir};
   }
 
-  // Workload subsets honoring --smoke.
+  // Workload subsets honoring positional selection and --smoke. Trace
+  // workloads ("trace:<path>") have no register class, so they appear in
+  // workload_names() but in neither per-class subset.
   [[nodiscard]] std::vector<std::string> int_names() const {
+    if (!positional.empty()) return class_subset(/*fp=*/false);
     return smoke ? std::vector<std::string>{"li"} : benchutil::int_names();
   }
   [[nodiscard]] std::vector<std::string> fp_names() const {
+    if (!positional.empty()) return class_subset(/*fp=*/true);
     return smoke ? std::vector<std::string>{"swim"} : benchutil::fp_names();
   }
   [[nodiscard]] std::vector<std::string> workload_names() const {
+    if (!positional.empty()) return positional;
     if (!smoke) return workloads::workload_names();
     return {"li", "swim"};
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::string> class_subset(bool fp) const {
+    std::vector<std::string> names;
+    for (const std::string& name : positional) {
+      const workloads::Workload* w = workloads::find_workload(name);
+      if (w != nullptr && w->is_fp == fp) names.push_back(name);
+    }
+    return names;
   }
 };
 
 inline void usage(const char* argv0) {
   std::printf(
-      "usage: %s [options] [positional...]\n"
+      "usage: %s [options] [workload...]\n"
+      "  workload...        subset of registry kernels / trace:<path>\n"
+      "                     (default: the full set; see --list-workloads)\n"
       "  --threads=N        harness pool workers (0 = hardware default)\n"
       "  --sample           checkpointed interval sampling per cell\n"
       "  --placement=MODE   periodic|random|stratified (default stratified)\n"
       "  --target-ci=X      stop sampling at 95%% CI half-width <= X\n"
       "  --sample-period=N  --sample-warmup=N  --sample-detail=N\n"
       "  --policies=A,B     policy subset (conv,basic,extended)\n"
+      "  --power            RixnerProbe energy/ED^2 metric columns\n"
+      "  --timeseries=PATH  per-stride occupancy channel CSV (fig3)\n"
+      "  --stride=N         channel stride in cycles (default 1000)\n"
       "  --csv=PATH         write the ResultSet as CSV\n"
       "  --json=PATH        write the ResultSet as JSON\n"
       "  --cache-dir=PATH   reuse/store per-cell results on disk\n"
-      "  --smoke            tiny grid (CI: execute, don't just compile)\n",
+      "  --smoke            tiny grid (CI: execute, don't just compile)\n"
+      "  --list-workloads   print the workload registry and exit\n"
+      "  --list-policies    print the release policies and exit\n",
       argv0);
+}
+
+inline void list_workloads() {
+  std::printf("workloads (name / class / description):\n");
+  for (const auto& w : workloads::registry())
+    std::printf("  %-10s %-4s %s\n", w.name.c_str(), w.is_fp ? "fp" : "int",
+                w.description.c_str());
+  std::printf(
+      "  trace:<path>    replay the program embedded in a recorded trace\n");
+}
+
+inline void list_policies() {
+  std::printf("release policies (accepted by --policies):\n");
+  std::printf("  conv       conventional release at redefiner commit\n");
+  std::printf("  basic      early release via the Last-Uses Table (sec 3)\n");
+  std::printf("  extended   + speculative NVs via the Release Queue (sec 4)\n");
+  std::printf("aliases: conventional, ext\n");
 }
 
 inline Options parse(int argc, char** argv) {
@@ -123,10 +181,22 @@ inline Options parse(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       std::exit(0);
+    } else if (arg == "--list-workloads") {
+      list_workloads();
+      std::exit(0);
+    } else if (arg == "--list-policies") {
+      list_policies();
+      std::exit(0);
     } else if (arg == "--sample") {
       opts.sample = true;
     } else if (arg == "--smoke") {
       opts.smoke = true;
+    } else if (arg == "--power") {
+      opts.power = true;
+    } else if (matches("--timeseries")) {
+      opts.timeseries_path = value("--timeseries");
+    } else if (matches("--stride")) {
+      opts.stride = std::strtoull(value("--stride").c_str(), nullptr, 10);
     } else if (matches("--threads")) {
       opts.threads = static_cast<unsigned>(
           std::strtoul(value("--threads").c_str(), nullptr, 10));
@@ -156,9 +226,19 @@ inline Options parse(int argc, char** argv) {
       while (start <= list.size()) {
         std::size_t comma = list.find(',', start);
         if (comma == std::string::npos) comma = list.size();
-        if (comma > start)
-          opts.policies.push_back(
-              core::parse_policy(list.substr(start, comma - start)));
+        if (comma > start) {
+          const std::string name = list.substr(start, comma - start);
+          const std::optional<core::PolicyKind> kind =
+              core::try_parse_policy(name);
+          if (!kind) {
+            std::fprintf(stderr,
+                         "%s: unknown policy '%s' (see --list-policies)\n",
+                         argv[0], name.c_str());
+            usage(argv[0]);
+            std::exit(2);
+          }
+          opts.policies.push_back(*kind);
+        }
         start = comma + 1;
       }
       if (opts.policies.empty()) {
@@ -172,6 +252,17 @@ inline Options parse(int argc, char** argv) {
       std::exit(2);
     } else {
       opts.positional.push_back(std::string(arg));
+    }
+  }
+  // Validate workload selections up front: a typo should produce a usage
+  // message here, not an abort deep inside workloads::workload().
+  for (const std::string& name : opts.positional) {
+    if (workloads::is_trace_workload(name)) continue;
+    if (workloads::find_workload(name) == nullptr) {
+      std::fprintf(stderr, "%s: unknown workload '%s' (see --list-workloads)\n",
+                   argv[0], name.c_str());
+      usage(argv[0]);
+      std::exit(2);
     }
   }
   return opts;

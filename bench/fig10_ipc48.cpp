@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   exp.workloads(opts.workload_names()).policies(opts.policies).phys_regs(
       {kPhys});
   if (opts.sample) exp.sampling(opts.sampling_config());
+  opts.add_probes(exp);
   const harness::ResultSet rs = exp.run(opts.run_options());
 
   const PolicyKind baseline = opts.policies.front();
@@ -55,6 +56,36 @@ int main(int argc, char** argv) {
     t.add_row(std::move(hm_row));
     std::printf("%s", t.to_string().c_str());
   }
+  // --power: register-file energy + ED^2 per benchmark and policy
+  // (power::RixnerProbe metric columns; also in the --csv/--json sinks).
+  if (opts.power) {
+    std::printf("\n=== Register-file energy (RixnerProbe, --power) ===\n");
+    std::vector<std::string> header = {"benchmark"};
+    for (const PolicyKind pk : opts.policies) {
+      header.push_back(std::string(core::policy_name(pk)) + " E(nJ)");
+      header.push_back(std::string(core::policy_name(pk)) + " ED2");
+    }
+    TextTable t(std::move(header));
+    for (const auto& name : opts.workload_names()) {
+      std::vector<std::string> row = {name};
+      for (const PolicyKind pk : opts.policies) {
+        const auto& e = rs.at({name, pk, kPhys, ""});
+        row.push_back(
+            TextTable::num(e.metric("power/energy_nj").value_or(0.0), 1));
+        row.push_back(
+            TextTable::num(e.metric("power/ed2").value_or(0.0), 0));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("%s", t.to_string().c_str());
+    if (opts.sample)
+      std::printf(
+          "note: sampled cells charge only their measured windows, and\n"
+          "confidence-driven stopping can measure a different number of\n"
+          "windows per cell — compare energy per instruction, not columns\n"
+          "of absolutes (per-cell counts are in --csv/--json).\n");
+  }
+
   std::printf(
       "\npaper (48+48): basic ~6%% FP speedup, negligible for int;\n"
       "extended ~8%% FP / ~5%% int. Expect the same ordering here with\n"

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
       .policies(opts.policies)
       .phys_regs(sizes);
   if (opts.sample) exp.sampling(opts.sampling_config());
+  opts.add_probes(exp);
   const harness::ResultSet rs = exp.run(opts.run_options());
 
   // Full-detail reference for the sampled-vs-full columns; at paper scale
@@ -80,6 +81,40 @@ int main(int argc, char** argv) {
       t.add_row(std::move(row));
     }
     std::printf("%s", t.to_string().c_str());
+  }
+
+  // --power: total register-file energy and summed ED^2 per size/policy
+  // over the whole workload set (per-workload values land in --csv/--json).
+  if (opts.power) {
+    std::printf(
+        "\n=== Register-file energy vs size (RixnerProbe, --power) ===\n");
+    std::vector<std::string> header = {"registers"};
+    for (const PolicyKind pk : opts.policies) {
+      header.push_back(std::string(core::policy_name(pk)) + " sumE(nJ)");
+      header.push_back(std::string(core::policy_name(pk)) + " sumED2");
+    }
+    TextTable t(std::move(header));
+    for (const unsigned p : sizes) {
+      std::vector<std::string> row = {std::to_string(p)};
+      for (const PolicyKind pk : opts.policies) {
+        double energy = 0.0, ed2 = 0.0;
+        for (const auto& name : opts.workload_names()) {
+          const auto& e = rs.at({name, pk, p, ""});
+          energy += e.metric("power/energy_nj").value_or(0.0);
+          ed2 += e.metric("power/ed2").value_or(0.0);
+        }
+        row.push_back(TextTable::num(energy, 1));
+        row.push_back(TextTable::num(ed2, 0));
+      }
+      t.add_row(std::move(row));
+    }
+    std::printf("%s", t.to_string().c_str());
+    if (opts.sample)
+      std::printf(
+          "note: sampled cells charge only their measured windows, and\n"
+          "confidence-driven stopping can measure a different number of\n"
+          "windows per cell — compare energy per instruction, not columns\n"
+          "of absolutes (per-cell counts are in --csv/--json).\n");
   }
 
   // Per-benchmark highlights the paper calls out (§5.1) — only meaningful

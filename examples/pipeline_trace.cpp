@@ -72,7 +72,7 @@ data: .double 1.5, 2.0, 0.0
               static_cast<unsigned long long>(reader.num_records()),
               reader.has_program() ? "embedded" : "absent");
   if (dump) {
-    const std::vector<sim::SimConfig::TraceEvent> events = reader.read_all();
+    const std::vector<sim::CommitEvent> events = reader.read_all();
     std::printf("\n%-5s %-9s %-28s %9s %7s %9s %8s\n", "seq", "pc",
                 "instruction", "dispatch", "issue", "complete", "commit");
     for (const auto& ev : events) {

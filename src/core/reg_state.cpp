@@ -60,24 +60,46 @@ void RegTracker::on_consumer_commit(PhysReg p, std::uint32_t token,
   v.last_use_commit = std::max(v.last_use_commit, cycle);
 }
 
+void RegTracker::enable_channels(std::uint64_t stride) {
+  EREL_CHECK(stride > 0, "occupancy channel stride must be positive");
+  stride_ = stride;
+}
+
+void RegTracker::add_span(unsigned state, std::uint64_t begin,
+                          std::uint64_t end) {
+  double* const integral =
+      state == 0 ? &empty_integral_ : state == 1 ? &ready_integral_
+                                                 : &idle_integral_;
+  *integral += static_cast<double>(end - begin);
+  if (stride_ == 0 || end <= begin) return;
+  std::vector<double>& bins = bins_[state];
+  const std::uint64_t last_bucket = (end - 1) / stride_;
+  if (bins.size() <= last_bucket) bins.resize(last_bucket + 1, 0.0);
+  for (std::uint64_t k = begin / stride_; k <= last_bucket; ++k) {
+    const std::uint64_t lo = std::max(begin, k * stride_);
+    const std::uint64_t hi = std::min(end, (k + 1) * stride_);
+    bins[k] += static_cast<double>(hi - lo);
+  }
+}
+
 void RegTracker::attribute(Version& v, std::uint64_t end_cycle, bool squashed) {
   const std::uint64_t t0 = v.alloc_cycle;
   if (!v.written) {
-    empty_integral_ += static_cast<double>(end_cycle - t0);
+    add_span(0, t0, end_cycle);
     return;
   }
   const std::uint64_t tw = std::min(std::max(v.write_cycle, t0), end_cycle);
-  empty_integral_ += static_cast<double>(tw - t0);
+  add_span(0, t0, tw);
   if (!v.definer_committed || squashed) {
     // Speculative version that never became architectural: it held a value
     // but no committed last use exists; count the whole span as Ready.
-    ready_integral_ += static_cast<double>(end_cycle - tw);
+    add_span(1, tw, end_cycle);
     return;
   }
   const std::uint64_t lu =
       std::min(std::max(v.last_use_commit, tw), end_cycle);
-  ready_integral_ += static_cast<double>(lu - tw);
-  idle_integral_ += static_cast<double>(end_cycle - lu);
+  add_span(1, tw, lu);
+  add_span(2, lu, end_cycle);
 }
 
 void RegTracker::on_release(PhysReg p, std::uint64_t cycle, bool squashed) {
@@ -145,6 +167,7 @@ PhysReg RegFileState::alloc(std::uint8_t logical, std::uint64_t cycle) {
   const PhysReg p = free_list.allocate();
   tracker.on_alloc(p, logical, cycle);
   ready[p] = false;
+  if (hooks != nullptr) hooks->on_reg_alloc(cls, p, cycle, /*reused=*/false);
   return p;
 }
 
@@ -158,6 +181,8 @@ void RegFileState::release(PhysReg p, std::uint64_t cycle, bool squashed) {
     iomt.mark_stale(logical);
   tracker.on_release(p, cycle, squashed);
   free_list.release(p);
+  if (hooks != nullptr)
+    hooks->on_reg_release(cls, p, cycle, squashed, /*reused=*/false);
 }
 
 void RegFileState::write_value(PhysReg p, std::uint64_t v, std::uint64_t cycle) {

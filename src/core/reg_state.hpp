@@ -38,6 +38,13 @@ class RegTracker {
  public:
   explicit RegTracker(unsigned num_phys);
 
+  /// Enables fixed-stride occupancy channels: every attributed span is also
+  /// binned into per-stride buckets (register-cycles per state), giving the
+  /// exact time-resolved decomposition of the Figure 3 averages. Cost:
+  /// O(span/stride) extra work per release and 3 doubles of memory per
+  /// stride window. Call before simulation starts.
+  void enable_channels(std::uint64_t stride);
+
   /// Marks registers [0, logical_count) as the initial architectural
   /// versions: allocated, written, definers committed at cycle 0.
   void init_architectural(unsigned logical_count);
@@ -64,6 +71,26 @@ class RegTracker {
 
   [[nodiscard]] Occupancy occupancy(std::uint64_t total_cycles) const;
 
+  // Raw occupancy integrals (register-cycles per state): the additive form
+  // published into the StatRegistry, from which the Occupancy averages are
+  // materialized (and which merge correctly across sampled windows).
+  [[nodiscard]] double empty_integral() const { return empty_integral_; }
+  [[nodiscard]] double ready_integral() const { return ready_integral_; }
+  [[nodiscard]] double idle_integral() const { return idle_integral_; }
+
+  /// Per-stride occupancy bins (register-cycles; divide by the covered
+  /// cycles for averages). Empty unless enable_channels() was called.
+  [[nodiscard]] std::uint64_t channel_stride() const { return stride_; }
+  [[nodiscard]] const std::vector<double>& channel_empty() const {
+    return bins_[0];
+  }
+  [[nodiscard]] const std::vector<double>& channel_ready() const {
+    return bins_[1];
+  }
+  [[nodiscard]] const std::vector<double>& channel_idle() const {
+    return bins_[2];
+  }
+
  private:
   struct Version {
     std::uint64_t alloc_cycle = 0;
@@ -77,6 +104,7 @@ class RegTracker {
   };
 
   void attribute(Version& v, std::uint64_t end_cycle, bool squashed);
+  void add_span(unsigned state, std::uint64_t begin, std::uint64_t end);
 
   std::vector<Version> regs_;
   unsigned allocated_count_ = 0;
@@ -84,6 +112,8 @@ class RegTracker {
   double ready_integral_ = 0;
   double idle_integral_ = 0;
   bool finalized_ = false;
+  std::uint64_t stride_ = 0;            // 0 = channels disabled
+  std::vector<double> bins_[3];         // per-stride register-cycles
 };
 
 /// All rename state for one register class.
@@ -100,6 +130,12 @@ struct RegFileState {
 
   /// Produces the value of `p` (writeback).
   void write_value(PhysReg p, std::uint64_t value, std::uint64_t cycle);
+
+  /// Instrumentation seam: when non-null, alloc()/release() report
+  /// register-lifecycle events through PipelineHooks::on_reg_alloc/
+  /// on_reg_release. Armed by the pipeline only while probes are attached,
+  /// so the unprobed path pays one predictable null check.
+  PipelineHooks* hooks = nullptr;
 
   RC cls;
   unsigned num_phys;

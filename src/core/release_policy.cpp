@@ -15,12 +15,19 @@ std::string_view policy_name(PolicyKind kind) {
   return "?";
 }
 
-PolicyKind parse_policy(std::string_view name) {
+std::optional<PolicyKind> try_parse_policy(std::string_view name) {
   if (name == "conv" || name == "conventional") return PolicyKind::Conventional;
   if (name == "basic") return PolicyKind::Basic;
   if (name == "extended" || name == "ext") return PolicyKind::Extended;
-  EREL_FATAL("unknown release policy '", name,
-             "' (expected conv|basic|extended)");
+  return std::nullopt;
+}
+
+PolicyKind parse_policy(std::string_view name) {
+  const std::optional<PolicyKind> kind = try_parse_policy(name);
+  if (!kind)
+    EREL_FATAL("unknown release policy '", name,
+               "' (expected conv|basic|extended)");
+  return *kind;
 }
 
 const std::vector<PolicyKind>& all_policies() {

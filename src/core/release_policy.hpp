@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -37,6 +38,11 @@ enum class PolicyKind : std::uint8_t { Conventional, Basic, Extended };
 /// Inverse of policy_name; also accepts the long aliases "conventional"
 /// and "ext". Aborts on an unknown name.
 [[nodiscard]] PolicyKind parse_policy(std::string_view name);
+
+/// Non-aborting parse_policy: nullopt on an unknown name (CLI validation
+/// paths that want a usage message instead of an abort).
+[[nodiscard]] std::optional<PolicyKind> try_parse_policy(
+    std::string_view name);
 
 /// The three paper policies in presentation order (conv, basic, extended).
 [[nodiscard]] const std::vector<PolicyKind>& all_policies();

@@ -44,6 +44,18 @@ Experiment& Experiment::sampling(sim::SamplingConfig config) {
   return *this;
 }
 
+Experiment& Experiment::probe(
+    std::string name, std::function<std::unique_ptr<sim::Probe>()> make) {
+  EREL_CHECK(!name.empty() && name.find(' ') == std::string::npos &&
+                 name.find('\n') == std::string::npos,
+             "probe names must be non-empty and whitespace-free");
+  EREL_CHECK(static_cast<bool>(make), "probe '", name, "' has no factory");
+  for (const sim::ProbeSpec& p : probes_)
+    EREL_CHECK(p.name != name, "duplicate probe '", name, "'");
+  probes_.push_back(sim::ProbeSpec{std::move(name), std::move(make)});
+  return *this;
+}
+
 std::vector<Experiment::Cell> Experiment::materialize() const {
   EREL_CHECK(!workloads_.empty(), "experiment has no workloads");
   const std::vector<core::PolicyKind> policies =
@@ -95,7 +107,7 @@ std::vector<Experiment::Cell> Experiment::materialize() const {
           Cell cell;
           cell.key = ExpKey{workload, policy, phys, variant.label};
           cell.spec = RunSpec{workload, std::move(config),
-                              cell.key.to_string(), sampling_};
+                              cell.key.to_string(), sampling_, probes_};
           cells.push_back(std::move(cell));
         }
       }
@@ -157,6 +169,10 @@ ResultSet Experiment::run(const RunOptions& opts) const {
                ec.message());
   }
 
+  std::vector<std::string> probe_names;
+  probe_names.reserve(probes_.size());
+  for (const sim::ProbeSpec& p : probes_) probe_names.push_back(p.name);
+
   std::vector<std::optional<ExpEntry>> ready(cells.size());
   std::vector<std::string> cache_path(cells.size());
   std::vector<std::string> fp_hex(cells.size());
@@ -165,7 +181,7 @@ ResultSet Experiment::run(const RunOptions& opts) const {
     const Cell& cell = cells[i];
     if (use_cache && fingerprintable(cell.spec.workload, cell.spec.config)) {
       fp_hex[i] = fingerprint_cell(cell.spec.workload, cell.spec.config,
-                                   cell.spec.sampling)
+                                   cell.spec.sampling, probe_names)
                       .hex();
       cache_path[i] = opts.cache_dir + "/" + fp_hex[i] + ".erelres";
       ready[i] = load_cache_file(cache_path[i], fp_hex[i], cell.key);
@@ -182,7 +198,7 @@ ResultSet Experiment::run(const RunOptions& opts) const {
     for (std::size_t j = 0; j < pending.size(); ++j) {
       const std::size_t i = pending[j];
       ExpEntry entry{cells[i].key, results[j].stats, results[j].sampled,
-                     /*from_cache=*/false};
+                     results[j].metrics, /*from_cache=*/false};
       if (!cache_path[i].empty())
         save_cache_file(cache_path[i], serialize_entry(entry, fp_hex[i]));
       ready[i] = std::move(entry);

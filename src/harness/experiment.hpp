@@ -79,6 +79,14 @@ class Experiment {
   Experiment& vary(std::string axis, std::vector<AxisPoint> points);
   Experiment& sampling(sim::SamplingConfig config);
 
+  /// Attaches a named probe to every cell (Instrumentation API v2). The
+  /// factory builds a fresh instance per simulation; exported metrics
+  /// become open named columns of the ResultSet (CSV/JSON sinks, cache
+  /// entries). The name joins the cell fingerprint, so cached cells only
+  /// serve runs declaring the same probe set.
+  Experiment& probe(std::string name,
+                    std::function<std::unique_ptr<sim::Probe>()> make);
+
   /// Expands the cross-product. Aborts when no workloads were given or an
   /// axis is empty (an accidentally-empty sweep is a bug, not a no-op).
   [[nodiscard]] std::vector<Cell> materialize() const;
@@ -100,6 +108,7 @@ class Experiment {
   std::vector<unsigned> phys_;
   std::vector<Axis> axes_;
   std::optional<sim::SamplingConfig> sampling_;
+  std::vector<sim::ProbeSpec> probes_;
 };
 
 }  // namespace erel::harness

@@ -70,8 +70,8 @@ std::optional<std::uint64_t> workload_content_hash(const std::string& name) {
   std::optional<std::uint64_t> hash;
   if (workloads::is_trace_workload(name)) {
     hash = hash_file(name.substr(workloads::kTracePrefix.size()));
-  } else {
-    hash = fnv1a64(workloads::workload(name).source);
+  } else if (const workloads::Workload* w = workloads::find_workload(name)) {
+    hash = fnv1a64(w->source);
   }
   if (hash) {
     const std::scoped_lock lock(mutex);
@@ -88,12 +88,13 @@ bool fingerprintable(const std::string& workload,
   if (workloads::is_trace_workload(workload))
     return std::filesystem::exists(
         workload.substr(workloads::kTracePrefix.size()));
-  return true;
+  return workloads::find_workload(workload) != nullptr;
 }
 
 Fingerprint fingerprint_cell(const std::string& workload,
                              const sim::SimConfig& config,
-                             const std::optional<sim::SamplingConfig>& sampling) {
+                             const std::optional<sim::SamplingConfig>& sampling,
+                             const std::vector<std::string>& probe_names) {
   std::string canon = "erel-fp-v1\n";
   canon += "workload=" + workload + "\n";
   const std::optional<std::uint64_t> content = workload_content_hash(workload);
@@ -106,6 +107,7 @@ Fingerprint fingerprint_cell(const std::string& workload,
   } else {
     canon += "sampling=none\n";
   }
+  for (const std::string& name : probe_names) canon += "probe=" + name + "\n";
   return Fingerprint{fnv1a64(canon)};
 }
 

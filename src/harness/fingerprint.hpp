@@ -8,6 +8,13 @@
 //   workload_content=<hash>         assembly source, or trace file bytes
 //   <SimConfig canonical fields>    sim::append_canonical_fields
 //   sampling=none | <SamplingConfig canonical fields>
+//   [probe=<name>]...               declared probe names, in order
+//
+// Probe lines only appear when an experiment attaches probes, so every
+// pre-probe fingerprint is unchanged. A probe's *name* stands in for its
+// implementation (probes are user code with no hashable content): rename a
+// probe when its exported metrics change meaning, exactly like vary()
+// axis labels.
 //
 // Two cells with equal fingerprints therefore produce bit-identical
 // statistics, which is what lets `Experiment::run` reuse on-disk results
@@ -21,8 +28,8 @@
 // workloads ("trace:<path>") hash the trace file's bytes in streaming
 // 64 KB chunks, so a re-recorded trace never aliases a stale result.
 //
-// Configs carrying user callbacks (SimConfig::policy_factory / trace hook)
-// have no stable content to hash; `fingerprintable` returns false and the
+// Configs carrying user callbacks (SimConfig::policy_factory) have no
+// stable content to hash; `fingerprintable` returns false and the
 // experiment layer simply re-runs those cells every time.
 #pragma once
 
@@ -30,6 +37,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "sim/config.hpp"
 #include "sim/sampling.hpp"
@@ -56,9 +64,12 @@ struct Fingerprint {
                                    const sim::SimConfig& config);
 
 /// Fingerprint of one experiment cell. Aborts (via the workload registry)
-/// on unknown workload names; call `fingerprintable` first.
+/// on unknown workload names; call `fingerprintable` first. `probe_names`
+/// are the cell's attached probe names in declaration order ({} = none,
+/// the historical hash).
 [[nodiscard]] Fingerprint fingerprint_cell(
     const std::string& workload, const sim::SimConfig& config,
-    const std::optional<sim::SamplingConfig>& sampling);
+    const std::optional<sim::SamplingConfig>& sampling,
+    const std::vector<std::string>& probe_names = {});
 
 }  // namespace erel::harness

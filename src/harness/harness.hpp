@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/config.hpp"
+#include "sim/probe.hpp"
 #include "sim/sampling.hpp"
 #include "sim/stats.hpp"
 
@@ -34,12 +35,22 @@ struct RunSpec {
   /// a sweep already saturates the harness pool with one spec per worker;
   /// raise it to shard a single long workload's units instead).
   std::optional<sim::SamplingConfig> sampling;
+
+  /// Named probes attached to the run (Instrumentation API v2): fresh
+  /// instances are built per simulation (and per sampling window), their
+  /// registry entries land in the run's StatRegistry, and their
+  /// export_metrics output becomes RunResult::metrics.
+  std::vector<sim::ProbeSpec> probes;
 };
 
 struct RunResult {
   RunSpec spec;
   sim::SimStats stats;
   std::optional<sim::SampledStats> sampled;
+
+  /// Named scalars exported by the spec's probes (full runs: over the
+  /// run's registry; sampled runs: over the merged measurement registry).
+  std::vector<sim::Metric> metrics;
 };
 
 /// Runs every spec (each on its own worker thread; simulations share no

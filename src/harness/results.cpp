@@ -214,6 +214,12 @@ std::string ExpKey::to_string() const {
   return s;
 }
 
+std::optional<double> ExpEntry::metric(std::string_view name) const {
+  for (const sim::Metric& m : metrics)
+    if (m.name == name) return m.value;
+  return std::nullopt;
+}
+
 void ResultSet::add(ExpEntry entry) {
   EREL_CHECK(!contains(entry.key), "duplicate experiment cell ",
              entry.key.to_string());
@@ -277,6 +283,18 @@ std::vector<std::string> ResultSet::variants() const {
       entries_, [](const ExpEntry& e) { return e.key.variant; });
 }
 
+std::vector<std::string> ResultSet::metric_names() const {
+  std::vector<std::string> names;
+  for (const ExpEntry& e : entries_) {
+    for (const sim::Metric& m : e.metrics) {
+      bool seen = false;
+      for (const std::string& n : names) seen = seen || n == m.name;
+      if (!seen) names.push_back(m.name);
+    }
+  }
+  return names;
+}
+
 double ResultSet::hmean_ipc(const std::vector<std::string>& names,
                             core::PolicyKind policy, unsigned phys,
                             const std::string& variant) const {
@@ -328,7 +346,16 @@ std::size_t ResultSet::cache_hits() const {
 void ResultSet::write_csv(const std::string& path) const {
   std::string out =
       "workload,policy,phys,variant,kind,cached,committed,cycles,ipc,"
-      "ipc_ci95,cond_accuracy,l1d_miss_rate,freelist_stalls\n";
+      "ipc_ci95,cond_accuracy,l1d_miss_rate,freelist_stalls";
+  // Open named-metric columns (Instrumentation API v2): the union of probe
+  // metrics across cells, first-seen order; cells without a metric leave
+  // the field empty.
+  const std::vector<std::string> metric_cols = metric_names();
+  for (const std::string& name : metric_cols) {
+    out += ',';
+    csv_field(out, name);
+  }
+  out += '\n';
   for (const ExpEntry& e : entries_) {
     csv_field(out, e.key.workload);
     out += ',';
@@ -355,6 +382,11 @@ void ResultSet::write_csv(const std::string& path) const {
     out += render_double(e.stats.l1d.miss_rate());
     out += ',';
     out += render_u64(e.stats.stalls.free_list_empty);
+    for (const std::string& name : metric_cols) {
+      out += ',';
+      if (const std::optional<double> v = e.metric(name))
+        out += render_double(*v);
+    }
     out += '\n';
   }
   write_file_or_die(path, out);
@@ -395,6 +427,17 @@ void ResultSet::write_json(const std::string& path) const {
     };
     sim_stats_fields(e.stats, emit, "");
     out += "\n      }";
+    if (!e.metrics.empty()) {
+      out += ",\n      \"metrics\": {";
+      bool first_metric = true;
+      for (const sim::Metric& m : e.metrics) {
+        out += first_metric ? "\n" : ",\n";
+        first_metric = false;
+        out += "        \"" + json_escape(m.name) +
+               "\": " + json_number(m.value);
+      }
+      out += "\n      }";
+    }
     if (e.sampled) {
       const sim::SampledStats& s = *e.sampled;
       out += ",\n      \"sampled\": {";
@@ -447,6 +490,12 @@ std::string serialize_entry(const ExpEntry& entry, std::string_view fp_hex) {
              render_u64(r.instructions) + ' ' + render_u64(r.cycles) + '\n';
     }
   }
+  for (const sim::Metric& m : entry.metrics) {
+    EREL_CHECK(!m.name.empty() &&
+                   m.name.find_first_of(" \n") == std::string::npos,
+               "metric name '", m.name, "' is not serializable");
+    out += "metric." + m.name + ' ' + render_double(m.value) + '\n';
+  }
   out += "end\n";
   return out;
 }
@@ -456,6 +505,7 @@ std::optional<ExpEntry> parse_entry(std::string_view text,
                                     const ExpKey& expect_key) {
   std::map<std::string, std::string, std::less<>> fields;
   std::vector<sim::SampleRecord> samples;
+  std::vector<sim::Metric> metrics;
   std::uint64_t declared_samples = 0;
   bool have_header = false, have_end = false, sampled = false;
   ExpKey key;
@@ -503,6 +553,15 @@ std::optional<ExpEntry> parse_entry(std::string_view text,
       samples.push_back(sim::SampleRecord{start, instructions, cycles});
     } else if (name == "end") {
       have_end = true;
+    } else if (name.starts_with("metric.")) {
+      // Open probe metrics: names are free-form, values strict doubles.
+      const std::string text(value);
+      char* end = nullptr;
+      const double parsed = std::strtod(text.c_str(), &end);
+      if (name.size() <= 7 || text.empty() ||
+          end != text.c_str() + text.size())
+        return std::nullopt;
+      metrics.push_back(sim::Metric{std::string(name.substr(7)), parsed});
     } else if (name.starts_with("stats.") || name.starts_with("sampled.")) {
       fields.emplace(std::string(name), std::string(value));
     } else {
@@ -526,6 +585,7 @@ std::optional<ExpEntry> parse_entry(std::string_view text,
   ExpEntry entry;
   entry.key = expect_key;
   entry.from_cache = true;
+  entry.metrics = std::move(metrics);
   FieldReader reader{fields};
   sim_stats_fields(entry.stats, reader, "stats.");
   if (sampled) {

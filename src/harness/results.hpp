@@ -23,6 +23,7 @@
 //   [sampled.<moment> ...]
 //   [samples <count>]
 //   [s <start_instruction> <instructions> <cycles>]...
+//   [metric.<name> <double>]...        open probe-exported metrics, in order
 //   end
 //
 // Values are decimal integers or "%.17g" doubles (bit-exact round-trip for
@@ -37,6 +38,7 @@
 #include <vector>
 
 #include "core/release_policy.hpp"
+#include "sim/probe.hpp"
 #include "sim/sampling.hpp"
 #include "sim/stats.hpp"
 
@@ -61,6 +63,12 @@ struct ExpEntry {
   ExpKey key;
   sim::SimStats stats;
   std::optional<sim::SampledStats> sampled;
+
+  /// Open named metrics exported by the cell's probes (Instrumentation API
+  /// v2). Flow through the CSV/JSON sinks as extra columns and round-trip
+  /// through the cache format's `metric.` lines.
+  std::vector<sim::Metric> metrics;
+
   bool from_cache = false;
 
   [[nodiscard]] double ipc() const { return stats.ipc(); }
@@ -69,6 +77,9 @@ struct ExpEntry {
   [[nodiscard]] double ipc_ci95() const {
     return sampled ? sampled->ipc_ci95 : 0.0;
   }
+
+  /// Metric lookup; nullopt when the cell has no metric of that name.
+  [[nodiscard]] std::optional<double> metric(std::string_view name) const;
 };
 
 class ResultSet {
@@ -111,6 +122,10 @@ class ResultSet {
                                   core::PolicyKind policy,
                                   core::PolicyKind baseline, unsigned phys,
                                   const std::string& variant = "") const;
+
+  /// Union of metric names across entries, first-seen order (the open
+  /// metric columns of the CSV sink).
+  [[nodiscard]] std::vector<std::string> metric_names() const;
 
   // ---- provenance ----
   [[nodiscard]] std::size_t cache_hits() const;

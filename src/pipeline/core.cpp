@@ -33,6 +33,32 @@ Core::Core(const sim::SimConfig& config, const arch::Program& program)
   if (config.check_oracle)
     oracle_ = std::make_unique<arch::ArchState>(program);
   if (config.flush_period != 0) next_flush_at_ = config.flush_period;
+
+  // Register the hot pipeline counters (sim/stat_registry.hpp documents the
+  // path scheme); everything else is published by finish_registry().
+  ctr_.cond_branches = &registry_.counter(sim::kStatCondBranches);
+  ctr_.cond_mispredicts = &registry_.counter(sim::kStatCondMispredicts);
+  ctr_.indirect_jumps = &registry_.counter(sim::kStatIndirectJumps);
+  ctr_.indirect_mispredicts =
+      &registry_.counter(sim::kStatIndirectMispredicts);
+  ctr_.ros_full = &registry_.counter(sim::kStatStallRos);
+  ctr_.lsq_full = &registry_.counter(sim::kStatStallLsq);
+  ctr_.checkpoints_full = &registry_.counter(sim::kStatStallCheckpoints);
+  ctr_.free_list_empty = &registry_.counter(sim::kStatStallFreeList);
+  ctr_.flushes_injected = &registry_.counter(sim::kStatFlushes);
+  for (unsigned c = 0; c < core::kNumClasses; ++c) {
+    std::string path(sim::kStatRegfilePrefix);
+    path += '/';
+    path += sim::stat_class_name(c);
+    path += "/squash_released";
+    ctr_.squash_released[c] = &registry_.counter(path);
+    if (config_.stat_stride != 0)
+      rename_.rf(static_cast<RC>(c)).tracker.enable_channels(
+          config_.stat_stride);
+  }
+  if (config_.stat_stride != 0)
+    chan_commits_ =
+        &registry_.channel(sim::kChannelCommits, config_.stat_stride);
 }
 
 Core::Core(const sim::SimConfig& config, const arch::Program& program,
@@ -64,6 +90,44 @@ Core::Core(const sim::SimConfig& config, const arch::Program& program,
 }
 
 Core::~Core() = default;
+
+// --- instrumentation ----------------------------------------------------
+
+void Core::attach_probe(sim::Probe* probe) {
+  EREL_CHECK(probe != nullptr, "attach_probe(nullptr)");
+  probes_.push_back(probe);
+  // Arm the register-lifecycle seam: RegFileState only routes alloc/release
+  // notifications through its hooks pointer once a probe is listening, so
+  // unprobed runs pay no virtual calls on the rename path.
+  for (unsigned c = 0; c < core::kNumClasses; ++c)
+    rename_.rf(static_cast<RC>(c)).hooks = this;
+  probe->on_run_begin(config_, registry_);
+}
+
+std::vector<std::unique_ptr<sim::Probe>> Core::attach_probes(
+    const std::vector<sim::ProbeSpec>& specs) {
+  std::vector<std::unique_ptr<sim::Probe>> instances;
+  instances.reserve(specs.size());
+  for (const sim::ProbeSpec& spec : specs) {
+    instances.push_back(spec.make());
+    EREL_CHECK(instances.back() != nullptr, "probe factory '", spec.name,
+               "' returned null");
+    attach_probe(instances.back().get());
+  }
+  return instances;
+}
+
+void Core::on_reg_alloc(RC cls, core::PhysReg p, std::uint64_t cycle,
+                        bool reused) {
+  const sim::RegEvent ev{cls, p, cycle, /*squashed=*/false, reused};
+  for (sim::Probe* probe : probes_) probe->on_reg_alloc(ev);
+}
+
+void Core::on_reg_release(RC cls, core::PhysReg p, std::uint64_t cycle,
+                          bool squashed, bool reused) {
+  const sim::RegEvent ev{cls, p, cycle, squashed, reused};
+  for (sim::Probe* probe : probes_) probe->on_reg_release(ev);
+}
 
 // --- PipelineHooks -----------------------------------------------------
 
@@ -130,17 +194,17 @@ void Core::phase_dispatch() {
     const FetchedInst& fi = fetch_.front();
     const DecodedInst& inst = fi.inst;
     if (ros_.full()) {
-      ++stats_.stalls.ros_full;
+      ++*ctr_.ros_full;
       return;
     }
     if (inst.is_mem() && lsq_.full()) {
-      ++stats_.stalls.lsq_full;
+      ++*ctr_.lsq_full;
       return;
     }
     const bool needs_checkpoint =
         inst.is_cond_branch() || inst.is_indirect_jump();
     if (needs_checkpoint && !rename_.can_checkpoint()) {
-      ++stats_.stalls.checkpoints_full;
+      ++*ctr_.checkpoints_full;
       return;
     }
 
@@ -156,7 +220,7 @@ void Core::phase_dispatch() {
     // version (e.g. `add r1, r1, r2`) and then carries its own rel bit.
     if (!rename_.try_rename(inst, seq, e.rec, cycle_)) {
       ros_.truncate_after(seq - 1);
-      ++stats_.stalls.free_list_empty;
+      ++*ctr_.free_list_empty;
       return;
     }
     if (inst.is_mem()) {
@@ -171,6 +235,10 @@ void Core::phase_dispatch() {
       e.has_checkpoint = true;
       rename_.note_branch_decoded(seq);
       pending_branches_.push_back(seq);
+    }
+    if (!probes_.empty()) {
+      const sim::RenameEvent ev{seq, e.pc, &e.inst, &e.rec, cycle_};
+      for (sim::Probe* probe : probes_) probe->on_rename(ev);
     }
     fetch_.pop_front();  // frees the buffer slot `fi`/`inst` point into
     ++dispatched;
@@ -305,6 +373,11 @@ void Core::phase_memory() {
       } else {
         const LsqEntry& le = lsq_.get(seq);
         const unsigned latency = hierarchy_.dload(le.addr);
+        if (!probes_.empty()) {
+          const sim::CacheAccessEvent ev{le.addr, /*is_write=*/false, latency,
+                                         cycle_};
+          for (sim::Probe* probe : probes_) probe->on_cache_access(ev);
+        }
         const std::uint64_t raw = mem_.read(le.addr, le.size);
         e.result = finish_load_value(e.inst.op, raw);
         e.has_result = true;
@@ -320,13 +393,18 @@ void Core::resolve_branch(RosEntry& e) {
   const bool is_cond = e.inst.is_cond_branch();
   const bool mispredicted = e.actual_target != e.predicted_target;
   if (is_cond) {
-    ++stats_.branches.cond_branches;
-    if (mispredicted) ++stats_.branches.cond_mispredicts;
+    ++*ctr_.cond_branches;
+    if (mispredicted) ++*ctr_.cond_mispredicts;
     gshare_.resolve(e.pc, e.ghr_checkpoint, e.actual_taken, mispredicted);
   } else {
-    ++stats_.branches.indirect_jumps;
-    if (mispredicted) ++stats_.branches.indirect_mispredicts;
+    ++*ctr_.indirect_jumps;
+    if (mispredicted) ++*ctr_.indirect_mispredicts;
     btb_.update(e.pc, e.actual_target);
+  }
+  if (!probes_.empty()) {
+    const sim::BranchEvent ev{e.pc,    e.actual_target, is_cond,
+                              e.actual_taken, mispredicted, cycle_};
+    for (sim::Probe* probe : probes_) probe->on_branch_resolve(ev);
   }
 
   if (!mispredicted) {
@@ -395,7 +473,7 @@ void Core::phase_commit() {
         e.seq != last_flushed_seq_) {
       last_flushed_seq_ = e.seq;
       next_flush_at_ = committed_ + config_.flush_period;
-      ++stats_.flushes_injected;
+      ++*ctr_.flushes_injected;
       exception_flush(e.pc);
       return;
     }
@@ -416,12 +494,22 @@ void Core::phase_commit() {
     if (oracle_) check_oracle(e, mem_entry);
     if (e.inst.is_store()) {
       mem_.write(popped.addr, popped.data, popped.size);
-      hierarchy_.dstore(popped.addr);  // commit-time D-cache update
+      const unsigned latency =
+          hierarchy_.dstore(popped.addr);  // commit-time D-cache update
+      if (!probes_.empty()) {
+        const sim::CacheAccessEvent ev{popped.addr, /*is_write=*/true,
+                                       latency, cycle_};
+        for (sim::Probe* probe : probes_) probe->on_cache_access(ev);
+      }
     }
     rename_.on_commit(e.rec, e.seq, cycle_);
-    if (config_.trace) {
-      config_.trace({e.seq, e.pc, isa::encode(e.inst), e.dispatch_cycle,
-                     e.issue_cycle, e.complete_cycle, cycle_});
+    if (!probes_.empty()) {
+      const sim::CommitEvent ev{e.seq,          e.pc,
+                                isa::encode(e.inst), e.dispatch_cycle,
+                                e.issue_cycle,  e.complete_cycle,
+                                cycle_,         &e.inst,
+                                &e.rec};
+      for (sim::Probe* probe : probes_) probe->on_commit(ev);
     }
     ros_.pop_head();
     ++committed_;
@@ -454,11 +542,12 @@ void Core::check_oracle(const RosEntry& e, const LsqEntry* mem_entry) {
 }
 
 void Core::squash_after(InstSeq boundary) {
-  for (InstSeq seq = ros_.tail_seq(); seq-- > boundary + 1;) {
+  const InstSeq tail = ros_.tail_seq();
+  for (InstSeq seq = tail; seq-- > boundary + 1;) {
     RosEntry& e = ros_.at(seq);
     rename_.on_squash_entry(e.rec, cycle_);
     if (e.rec.has_dst() && !e.rec.reused_prev)
-      ++stats_.squash_released[static_cast<unsigned>(core::rc_from(e.rec.cd))];
+      ++*ctr_.squash_released[static_cast<unsigned>(core::rc_from(e.rec.cd))];
   }
   ros_.truncate_after(boundary);
   lsq_.squash_after(boundary);
@@ -468,11 +557,20 @@ void Core::squash_after(InstSeq boundary) {
   std::erase_if(pending_stores_, [boundary](const CompletionEvent& ev) {
     return ev.seq > boundary;
   });
+  if (!probes_.empty() && tail > boundary + 1) {
+    const sim::SquashEvent ev{boundary, tail - (boundary + 1), cycle_};
+    for (sim::Probe* probe : probes_) probe->on_squash(ev);
+  }
 }
 
 void Core::exception_flush(std::uint64_t resume_pc) {
+  const std::uint64_t flushed = ros_.tail_seq() - ros_.head_seq();
   for (InstSeq seq = ros_.tail_seq(); seq-- > ros_.head_seq();) {
     rename_.on_squash_entry(ros_.at(seq).rec, cycle_);
+  }
+  if (!probes_.empty()) {
+    const sim::SquashEvent ev{core::kNoSeq, flushed, cycle_};
+    for (sim::Probe* probe : probes_) probe->on_squash(ev);
   }
   ros_.clear();
   lsq_.clear();
@@ -487,19 +585,106 @@ void Core::exception_flush(std::uint64_t resume_pc) {
 void Core::tick() {
   ++cycle_;
   phase_commit();
-  if (halted_) return;
-  phase_writeback();
-  phase_memory();
-  phase_issue();
-  phase_dispatch();
-  phase_fetch();
+  if (!halted_) {
+    phase_writeback();
+    phase_memory();
+    phase_issue();
+    phase_dispatch();
+    phase_fetch();
 
-  // Deadlock watchdog: with a non-empty pipeline something must commit
-  // within a bounded window (longest chain: FP div + L2 misses).
-  if (!ros_.empty() && cycle_ - last_commit_cycle_ > 20000) {
-    EREL_FATAL("no commit for 20000 cycles at cycle ", cycle_, ", head pc ",
-               ros_.head().pc, " state ",
-               static_cast<int>(ros_.head().state));
+    // Deadlock watchdog: with a non-empty pipeline something must commit
+    // within a bounded window (longest chain: FP div + L2 misses).
+    if (!ros_.empty() && cycle_ - last_commit_cycle_ > 20000) {
+      EREL_FATAL("no commit for 20000 cycles at cycle ", cycle_, ", head pc ",
+                 ros_.head().pc, " state ",
+                 static_cast<int>(ros_.head().state));
+    }
+  }
+
+  if (chan_commits_ != nullptr && cycle_ % config_.stat_stride == 0) {
+    chan_commits_->push(
+        static_cast<double>(committed_ - chan_committed_at_stride_));
+    chan_committed_at_stride_ = committed_;
+  }
+  if (!probes_.empty()) {
+    const sim::CycleEvent ev{cycle_};
+    for (sim::Probe* probe : probes_) probe->on_cycle(ev);
+  }
+}
+
+void Core::finish_registry() {
+  registry_.counter(sim::kStatCycles).value = cycle_;
+  registry_.counter(sim::kStatCommitted).value = committed_;
+  registry_.counter(sim::kStatHalted).value = halted_ ? 1 : 0;
+  registry_.counter(sim::kStatIcacheStalls).value =
+      fetch_.icache_stall_cycles();
+
+  for (unsigned c = 0; c < core::kNumClasses; ++c) {
+    const auto cls = static_cast<RC>(c);
+    // Leaf names come from the shared tables (sim/stat_registry.hpp), so
+    // the publisher and the SimStats view can never drift apart.
+    const std::string base =
+        std::string(sim::kStatPolicyPrefix) + '/' +
+        std::string(sim::stat_class_name(c)) + '/';
+    const core::PolicyStats& ps = rename_.policy(cls).stats();
+    for (const sim::PolicyStatsField& f : sim::policy_stats_fields())
+      registry_.counter(base + std::string(f.leaf)).value = ps.*f.member;
+
+    core::RegTracker& tracker = rename_.rf(cls).tracker;
+    tracker.finalize(cycle_);
+    const std::string rf =
+        std::string(sim::kStatRegfilePrefix) + '/' +
+        std::string(sim::stat_class_name(c)) + '/';
+    const double integrals[3] = {tracker.empty_integral(),
+                                 tracker.ready_integral(),
+                                 tracker.idle_integral()};
+    for (unsigned i = 0; i < 3; ++i)
+      registry_.accum(rf + std::string(sim::kStatOccIntegralLeaves[i]))
+          .value = integrals[i];
+
+    if (config_.stat_stride != 0) {
+      // Per-stride occupancy: bins hold register-cycles; dividing by the
+      // cycles each bucket actually covers (the last one may be partial)
+      // yields the average register count in that state over the bucket.
+      const std::uint64_t stride = config_.stat_stride;
+      const std::uint64_t buckets = (cycle_ + stride - 1) / stride;
+      const std::string chan = std::string(sim::kChannelPrefix) +
+                               "/occupancy/" +
+                               std::string(sim::stat_class_name(c)) + '/';
+      const std::vector<double>* const bins[3] = {&tracker.channel_empty(),
+                                                  &tracker.channel_ready(),
+                                                  &tracker.channel_idle()};
+      const char* const leaf[3] = {"empty", "ready", "idle"};
+      for (unsigned s = 0; s < 3; ++s) {
+        sim::StatRegistry::TimeSeries& ts =
+            registry_.channel(chan + leaf[s], stride);
+        for (std::uint64_t k = 0; k < buckets; ++k) {
+          const double covered = static_cast<double>(
+              std::min(stride, cycle_ - k * stride));
+          const double sum = k < bins[s]->size() ? (*bins[s])[k] : 0.0;
+          ts.push(covered == 0.0 ? 0.0 : sum / covered);
+        }
+      }
+    }
+  }
+
+  const auto publish_cache = [this](const char* name,
+                                    const mem::CacheStats& cs) {
+    const std::string base =
+        std::string(sim::kStatCachePrefix) + '/' + name + '/';
+    for (const sim::CacheStatsField& f : sim::cache_stats_fields())
+      registry_.counter(base + std::string(f.leaf)).value = cs.*f.member;
+  };
+  publish_cache("l1i", hierarchy_.l1i().stats());
+  publish_cache("l1d", hierarchy_.l1d().stats());
+  publish_cache("l2", hierarchy_.l2().stats());
+
+  // Flush the partial tail of the commit channel so the points cover the
+  // whole run.
+  if (chan_commits_ != nullptr && cycle_ % config_.stat_stride != 0) {
+    chan_commits_->push(
+        static_cast<double>(committed_ - chan_committed_at_stride_));
+    chan_committed_at_stride_ = committed_;
   }
 }
 
@@ -509,20 +694,9 @@ sim::SimStats Core::run() {
           committed_ < config_.max_instructions)) {
     tick();
   }
-  stats_.cycles = cycle_;
-  stats_.committed = committed_;
-  stats_.halted = halted_;
-  stats_.icache_stall_cycles = fetch_.icache_stall_cycles();
-  for (unsigned c = 0; c < core::kNumClasses; ++c) {
-    const auto cls = static_cast<RC>(c);
-    stats_.policy_stats[c] = rename_.policy(cls).stats();
-    rename_.rf(cls).tracker.finalize(cycle_);
-    stats_.occupancy[c] = rename_.rf(cls).tracker.occupancy(cycle_);
-  }
-  stats_.l1i = hierarchy_.l1i().stats();
-  stats_.l1d = hierarchy_.l1d().stats();
-  stats_.l2 = hierarchy_.l2().stats();
-  return stats_;
+  finish_registry();
+  for (sim::Probe* probe : probes_) probe->on_run_end(registry_);
+  return sim::materialize_sim_stats(registry_);
 }
 
 std::uint64_t Core::arch_reg(RC cls, unsigned logical, bool* stale) const {

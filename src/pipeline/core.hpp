@@ -32,6 +32,8 @@
 #include "pipeline/lsq.hpp"
 #include "pipeline/ros.hpp"
 #include "sim/config.hpp"
+#include "sim/probe.hpp"
+#include "sim/stat_registry.hpp"
 #include "sim/stats.hpp"
 #include "sim/warm_state.hpp"
 
@@ -57,9 +59,33 @@ class Core final : public core::PipelineHooks {
   /// Advances one cycle.
   void tick();
 
-  /// Runs until HALT commits or a run-control limit is reached; returns the
-  /// final statistics.
+  /// Runs until HALT commits or a run-control limit is reached; finalizes
+  /// the statistics registry and returns the SimStats view of it.
   sim::SimStats run();
+
+  // ---- instrumentation (Instrumentation API v2) ----
+
+  /// Attaches an observer for the run. Call before the first tick; the
+  /// probe's on_run_begin fires immediately (registering its counters in
+  /// the core's registry), its event callbacks fire during simulation, and
+  /// on_run_end fires inside run(). Probes never change simulation results;
+  /// the caller keeps ownership and must outlive the core.
+  void attach_probe(sim::Probe* probe);
+
+  /// Builds fresh instances from named probe recipes (fatal on a null
+  /// factory result) and attaches each; the returned vector owns them and
+  /// must outlive the core's run.
+  [[nodiscard]] std::vector<std::unique_ptr<sim::Probe>> attach_probes(
+      const std::vector<sim::ProbeSpec>& specs);
+
+  /// The open statistics surface. Hot pipeline counters (stalls, branches,
+  /// squashes) are live during the run; subsystem-owned metrics (policy
+  /// channels, occupancy integrals, cache counters) and the optional
+  /// fixed-stride channels (SimConfig::stat_stride) are published when
+  /// run() finalizes. sim::materialize_sim_stats() derives SimStats from
+  /// it.
+  [[nodiscard]] const sim::StatRegistry& registry() const { return registry_; }
+  [[nodiscard]] sim::StatRegistry& registry() { return registry_; }
 
   [[nodiscard]] bool halted() const { return halted_; }
   [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
@@ -82,6 +108,10 @@ class Core final : public core::PipelineHooks {
                               core::InstSeq hi) const override;
   core::InstSeq newest_pending_branch() const override;
   unsigned pending_branch_count() const override;
+  void on_reg_alloc(core::RC cls, core::PhysReg p, std::uint64_t cycle,
+                    bool reused) override;
+  void on_reg_release(core::RC cls, core::PhysReg p, std::uint64_t cycle,
+                      bool squashed, bool reused) override;
 
  private:
   struct CompletionEvent {
@@ -102,6 +132,11 @@ class Core final : public core::PipelineHooks {
   void phase_issue();
   void phase_dispatch();
   void phase_fetch();
+
+  /// Publishes end-of-run metrics (cycles/committed/halted, policy
+  /// counters, occupancy integrals + channels, cache counters) into the
+  /// registry. Called once, by run().
+  void finish_registry();
 
   [[nodiscard]] bool operands_ready(const RosEntry& e) const;
   [[nodiscard]] std::uint64_t operand_value(isa::RegClass cls,
@@ -144,7 +179,29 @@ class Core final : public core::PipelineHooks {
   std::uint64_t next_flush_at_ = 0;
   core::InstSeq last_flushed_seq_ = core::kNoSeq;
 
-  sim::SimStats stats_;
+  // Statistics registry (the open observation surface) plus cached handles
+  // for the counters the pipeline bumps on its hot paths. Handles stay
+  // valid for the core's lifetime (map-node stability).
+  sim::StatRegistry registry_;
+  struct {
+    sim::StatRegistry::Counter* cond_branches = nullptr;
+    sim::StatRegistry::Counter* cond_mispredicts = nullptr;
+    sim::StatRegistry::Counter* indirect_jumps = nullptr;
+    sim::StatRegistry::Counter* indirect_mispredicts = nullptr;
+    sim::StatRegistry::Counter* ros_full = nullptr;
+    sim::StatRegistry::Counter* lsq_full = nullptr;
+    sim::StatRegistry::Counter* checkpoints_full = nullptr;
+    sim::StatRegistry::Counter* free_list_empty = nullptr;
+    sim::StatRegistry::Counter* flushes_injected = nullptr;
+    sim::StatRegistry::Counter* squash_released[core::kNumClasses] = {};
+  } ctr_;
+
+  std::vector<sim::Probe*> probes_;  // non-owning, attach order
+
+  // Fixed-stride commit channel bookkeeping (config_.stat_stride > 0;
+  // handle registered in the ctor, null when channels are off).
+  sim::StatRegistry::TimeSeries* chan_commits_ = nullptr;
+  std::uint64_t chan_committed_at_stride_ = 0;
 };
 
 }  // namespace erel::pipeline

@@ -3,7 +3,7 @@
 namespace erel::sim {
 
 bool config_fingerprintable(const SimConfig& config) {
-  return !config.policy_factory && !config.trace;
+  return !config.policy_factory;
 }
 
 namespace {
@@ -50,6 +50,9 @@ void append_canonical_fields(const SimConfig& config, std::string& out) {
   field(out, "max_instructions", config.max_instructions);
   field(out, "check_oracle", config.check_oracle ? 1 : 0);
   field(out, "flush_period", config.flush_period);
+  // stat_stride is deliberately absent: time-series channels never change
+  // simulation results, so the same cached cell serves every stride (and
+  // pre-existing fingerprints stay valid).
 }
 
 }  // namespace erel::sim

@@ -44,18 +44,18 @@ struct SimConfig {
   // Verification.
   bool check_oracle = true;  // lock-step functional co-simulation at commit
 
-  /// Per-committed-instruction pipeline trace ("pipeview"). When set, the
-  /// core invokes it at every commit with the instruction's stage timing.
-  struct TraceEvent {
-    std::uint64_t seq = 0;
-    std::uint64_t pc = 0;
-    std::uint32_t encoding = 0;
-    std::uint64_t dispatch_cycle = 0;
-    std::uint64_t issue_cycle = 0;
-    std::uint64_t complete_cycle = 0;
-    std::uint64_t commit_cycle = 0;
-  };
-  std::function<void(const TraceEvent&)> trace;
+  /// Instrumentation (API v2): when > 0, the core records fixed-stride
+  /// time-series channels into its StatRegistry — per-stride Empty/Ready/
+  /// Idle occupancy per register class and commits per stride — with one
+  /// point every `stat_stride` cycles. Channels never change simulation
+  /// results (stats are value-identical at any stride), so the field is
+  /// excluded from the result-cache fingerprint; read channels from a live
+  /// core's registry, not from cached cells.
+  ///
+  /// Per-committed-instruction observation (the old `trace` callback) is a
+  /// probe now: attach a sim::Probe (e.g. trace::CaptureProbe) to the core
+  /// and handle CommitEvents.
+  std::uint64_t stat_stride = 0;
 
   // Exception-injection fuzzing (§4.3 recovery): flush the pipeline and
   // re-execute from the head instruction every `flush_period` commits.
@@ -69,8 +69,8 @@ struct SimConfig {
 
 /// True when the config's simulation results are a pure function of the
 /// fields below — i.e. no user-supplied callbacks. Configs carrying a
-/// `policy_factory` or a `trace` hook cannot be fingerprinted for the
-/// on-disk result cache (harness/fingerprint.hpp) and are always re-run.
+/// `policy_factory` cannot be fingerprinted for the on-disk result cache
+/// (harness/fingerprint.hpp) and are always re-run.
 [[nodiscard]] bool config_fingerprintable(const SimConfig& config);
 
 /// Appends every result-affecting field as canonical `name=value` lines.

@@ -22,31 +22,6 @@ namespace erel::sim {
 
 namespace {
 
-/// Accumulates the counters of one detailed window into `total`.
-void accumulate(SimStats& total, const SimStats& window) {
-  total.cycles += window.cycles;
-  total.committed += window.committed;
-  total.branches.cond_branches += window.branches.cond_branches;
-  total.branches.cond_mispredicts += window.branches.cond_mispredicts;
-  total.branches.indirect_jumps += window.branches.indirect_jumps;
-  total.branches.indirect_mispredicts += window.branches.indirect_mispredicts;
-  total.stalls.ros_full += window.stalls.ros_full;
-  total.stalls.lsq_full += window.stalls.lsq_full;
-  total.stalls.checkpoints_full += window.stalls.checkpoints_full;
-  total.stalls.free_list_empty += window.stalls.free_list_empty;
-  total.icache_stall_cycles += window.icache_stall_cycles;
-  for (unsigned c = 0; c < 2; ++c)
-    total.squash_released[c] += window.squash_released[c];
-  auto add_cache = [](mem::CacheStats& a, const mem::CacheStats& b) {
-    a.accesses += b.accesses;
-    a.misses += b.misses;
-    a.writebacks += b.writebacks;
-  };
-  add_cache(total.l1i, window.l1i);
-  add_cache(total.l1d, window.l1d);
-  add_cache(total.l2, window.l2);
-}
-
 /// splitmix64 of (seed, k): a stateless per-interval random draw, so a
 /// unit's placement depends only on the seed and its interval index — not
 /// on evaluation order or thread count.
@@ -67,7 +42,8 @@ struct SamplingUnit {
 
 /// Outcome of one detailed window.
 struct UnitResult {
-  SimStats window;  // warmup + measured, as simulated
+  SimStats window;        // warmup + measured, as simulated
+  StatRegistry registry;  // the window core's full registry
   std::uint64_t measured_insts = 0;
   std::uint64_t measured_cycles = 0;
   bool degenerate = false;  // committed work but zero measured cycles
@@ -166,7 +142,9 @@ SampledSimulator::SampledSimulator(SimConfig config, SamplingConfig sampling)
   EREL_CHECK(sampling_.target_ci >= 0.0, "target_ci must be non-negative");
 }
 
-SampledStats SampledSimulator::run(const arch::Program& program) const {
+SampledStats SampledSimulator::run(const arch::Program& program,
+                                   const std::vector<ProbeSpec>& probes)
+    const {
   const std::uint64_t window = sampling_.warmup + sampling_.detail;
   const std::uint64_t slack = sampling_.period - window;  // ctor: period>window
 
@@ -242,8 +220,9 @@ SampledStats SampledSimulator::run(const arch::Program& program) const {
   const auto run_unit = [&](const SamplingUnit& unit) -> UnitResult {
     SimConfig cfg = config_;
     cfg.max_instructions = window;
-    cfg.trace = nullptr;  // per-window traces would interleave meaninglessly
     pipeline::Core core(cfg, program, unit.ckpt, unit.warm.get());
+    const std::vector<std::unique_ptr<Probe>> instances =
+        core.attach_probes(probes);
     while (!core.halted() && core.committed() < sampling_.warmup &&
            core.cycle() < cfg.max_cycles)
       core.tick();
@@ -251,6 +230,7 @@ SampledStats SampledSimulator::run(const arch::Program& program) const {
     const std::uint64_t warm_committed = core.committed();
     UnitResult r;
     r.window = core.run();
+    r.registry = core.registry();
     r.measured_insts = r.window.committed - warm_committed;
     r.measured_cycles = r.window.cycles - warm_cycles;
     if (r.measured_insts > 0 && r.measured_cycles == 0) {
@@ -313,11 +293,14 @@ SampledStats SampledSimulator::run(const arch::Program& program) const {
 
   // --- deterministic merge ------------------------------------------------
   // Fold measured units back in interval order: the output is a pure
-  // function of (config, program, seed), never of scheduling.
+  // function of (config, program, seed), never of scheduling. Every window
+  // merges its whole StatRegistry (counters sum, occupancy integrals sum,
+  // channels append), so sharded and serial runs agree on every metric —
+  // the SimStats `measured` view is then materialized from the merge.
   for (std::size_t u = 0; u < units.size(); ++u) {
     if (!results[u]) continue;  // unscheduled (CI target met early)
     const UnitResult& r = *results[u];
-    accumulate(out.measured, r.window);
+    out.registry.merge_from(r.registry);
     out.detailed_instructions += r.window.committed;
     if (r.degenerate) {
       ++out.degenerate_windows;
@@ -327,6 +310,7 @@ SampledStats SampledSimulator::run(const arch::Program& program) const {
       out.measured_instructions += r.measured_insts;
     }
   }
+  out.measured = materialize_sim_stats(out.registry);
 
   const std::size_t n = out.samples.size();
   if (n > 0) {

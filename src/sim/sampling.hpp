@@ -27,6 +27,8 @@
 
 #include "arch/program.hpp"
 #include "sim/config.hpp"
+#include "sim/probe.hpp"
+#include "sim/stat_registry.hpp"
 #include "sim/stats.hpp"
 
 namespace erel::sim {
@@ -134,8 +136,15 @@ struct SampledStats {
   SimStats estimate;
 
   /// Raw sums of the detailed windows (warmup + measured), unscaled: what
-  /// the pipeline actually simulated.
+  /// the pipeline actually simulated. Materialized from `registry`.
   SimStats measured;
+
+  /// Merged measurement-window StatRegistry: counters and accumulators
+  /// summed, distributions combined, time-series channels appended — always
+  /// in interval order, so the merged registry is bit-identical at any
+  /// thread count (sharded == serial, for *every* metric). Probe-registered
+  /// entries merge the same way. Not serialized into the result cache.
+  StatRegistry registry;
 
   /// Measured intervals in interval order (deterministic at any thread
   /// count).
@@ -182,7 +191,13 @@ class SampledSimulator {
   /// Runs `program` to completion: one functional planning pass over the
   /// whole program (checkpoints + warm-state snapshots at unit starts),
   /// then detailed warm-up + measurement per unit, serial or sharded.
-  [[nodiscard]] SampledStats run(const arch::Program& program) const;
+  /// Each measurement window attaches fresh instances of every probe in
+  /// `probes` (instances are per-window, so sharding stays race-free);
+  /// their registry entries merge into SampledStats::registry in interval
+  /// order, bit-identically at any thread count.
+  [[nodiscard]] SampledStats run(const arch::Program& program,
+                                 const std::vector<ProbeSpec>& probes = {})
+      const;
 
   [[nodiscard]] const SimConfig& config() const { return config_; }
   [[nodiscard]] const SamplingConfig& sampling() const { return sampling_; }

@@ -7,15 +7,23 @@
 //   erel::sim::SimStats stats = sim.run(program);
 //   // stats.ipc(), stats.policy_stats, stats.occupancy, ...
 //
+// Instrumentation (API v2): attach sim::Probe observers for event-driven
+// introspection, or run with probes in one call:
+//
+//   power::RixnerProbe power;
+//   sim::SimStats stats = sim.run(program, {&power});
+//
 // For deeper introspection (architectural registers, memory, conservation
-// probes) construct a pipeline::Core directly via make_core().
+// probes, the StatRegistry) construct a pipeline::Core via make_core().
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "arch/program.hpp"
 #include "pipeline/core.hpp"
 #include "sim/config.hpp"
+#include "sim/probe.hpp"
 #include "sim/stats.hpp"
 
 namespace erel::sim {
@@ -27,6 +35,15 @@ class Simulator {
   /// Runs `program` to completion (or a configured limit).
   SimStats run(const arch::Program& program) const {
     return pipeline::Core(config_, program).run();
+  }
+
+  /// Runs with observers attached (caller keeps ownership; see
+  /// sim/probe.hpp).
+  SimStats run(const arch::Program& program,
+               const std::vector<Probe*>& probes) const {
+    pipeline::Core core(config_, program);
+    for (Probe* probe : probes) core.attach_probe(probe);
+    return core.run();
   }
 
   /// Builds a core for step-by-step driving (tests, examples).

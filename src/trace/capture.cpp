@@ -1,23 +1,15 @@
 #include "trace/capture.hpp"
 
-#include <utility>
-
 #include "sim/simulator.hpp"
 #include "trace/reader.hpp"
-#include "trace/writer.hpp"
 
 namespace erel::trace {
 
-sim::SimStats capture(const arch::Program& program, sim::SimConfig config,
-                      const std::string& path) {
+sim::SimStats capture(const arch::Program& program,
+                      const sim::SimConfig& config, const std::string& path) {
   TraceWriter writer(path, program);
-  std::function<void(const sim::SimConfig::TraceEvent&)> user_hook =
-      std::move(config.trace);
-  config.trace = [&writer, &user_hook](const sim::SimConfig::TraceEvent& ev) {
-    writer.append(ev);
-    if (user_hook) user_hook(ev);
-  };
-  const sim::SimStats stats = sim::Simulator(config).run(program);
+  CaptureProbe probe(writer);
+  const sim::SimStats stats = sim::Simulator(config).run(program, {&probe});
   writer.finish();
   return stats;
 }

@@ -1,9 +1,17 @@
 // One-call trace capture and replay helpers on top of TraceWriter/
-// TraceReader.
+// TraceReader, plus the probe that records commits (Instrumentation API
+// v2: capture is an ordinary sim::Probe, not a bespoke pipeline hook).
 //
 //   trace::capture(program, config, "li.ertr");      // record a run
 //   arch::Program p = trace::replay_program("li.ertr");  // workload family
 //   trace::ReplaySummary s = trace::summarize("li.ertr");
+//
+// To compose capture with other observers, attach a CaptureProbe yourself:
+//
+//   trace::TraceWriter writer(path, program);
+//   trace::CaptureProbe capture(writer);
+//   sim::Simulator(config).run(program, {&capture, &my_probe});
+//   writer.finish();
 #pragma once
 
 #include <cstdint>
@@ -11,15 +19,36 @@
 
 #include "arch/program.hpp"
 #include "sim/config.hpp"
+#include "sim/probe.hpp"
 #include "sim/stats.hpp"
+#include "trace/writer.hpp"
 
 namespace erel::trace {
 
+/// Streams every committed instruction into a TraceWriter. The writer must
+/// outlive the run; call writer.finish() after it.
+///
+/// Full-detail runs only: under sampled simulation, measurement windows
+/// run concurrently and replay disjoint slices of the program, so a
+/// CaptureProbe factory sharing one writer across windows would interleave
+/// (and race on) the record stream. Record traces from a plain
+/// sim::Simulator / pipeline::Core run.
+class CaptureProbe final : public sim::Probe {
+ public:
+  explicit CaptureProbe(TraceWriter& writer) : writer_(writer) {}
+
+  void on_commit(const sim::CommitEvent& event) override {
+    writer_.append(event);
+  }
+
+ private:
+  TraceWriter& writer_;
+};
+
 /// Runs `program` under `config` recording every committed instruction to
-/// `path` (the program image is embedded so the trace is replayable). Any
-/// user trace hook already present in `config` still fires.
-sim::SimStats capture(const arch::Program& program, sim::SimConfig config,
-                      const std::string& path);
+/// `path` (the program image is embedded so the trace is replayable).
+sim::SimStats capture(const arch::Program& program,
+                      const sim::SimConfig& config, const std::string& path);
 
 /// The embedded program image of a recorded trace; aborts if the trace was
 /// captured without one.

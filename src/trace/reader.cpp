@@ -162,16 +162,16 @@ const arch::Program& TraceReader::program() const {
 void TraceReader::rewind() {
   cursor_.seek(records_offset_);
   records_read_ = 0;
-  prev_ = sim::SimConfig::TraceEvent{};
+  prev_ = sim::CommitEvent{};
 }
 
-std::optional<sim::SimConfig::TraceEvent> TraceReader::next() {
+std::optional<sim::CommitEvent> TraceReader::next() {
   if (records_read_ >= num_records_) {
     EREL_CHECK(cursor_.remaining() == 0,
                "trailing bytes after final trace record");
     return std::nullopt;
   }
-  sim::SimConfig::TraceEvent ev;
+  sim::CommitEvent ev;
   ev.seq = prev_.seq + static_cast<std::uint64_t>(cursor_.svarint());
   ev.pc = prev_.pc + static_cast<std::uint64_t>(cursor_.svarint());
   ev.encoding = static_cast<std::uint32_t>(cursor_.uvarint());
@@ -186,8 +186,8 @@ std::optional<sim::SimConfig::TraceEvent> TraceReader::next() {
   return ev;
 }
 
-std::vector<sim::SimConfig::TraceEvent> TraceReader::read_all() {
-  std::vector<sim::SimConfig::TraceEvent> events;
+std::vector<sim::CommitEvent> TraceReader::read_all() {
+  std::vector<sim::CommitEvent> events;
   events.reserve(static_cast<std::size_t>(num_records_ - records_read_));
   while (auto ev = next()) events.push_back(*ev);
   return events;

@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "arch/program.hpp"
-#include "sim/config.hpp"
+#include "sim/probe.hpp"
 #include "trace/format.hpp"
 
 namespace erel::trace {
@@ -77,13 +77,13 @@ class TraceReader {
   [[nodiscard]] const arch::Program& program() const;
 
   /// Decodes the next record; std::nullopt after the last one.
-  std::optional<sim::SimConfig::TraceEvent> next();
+  std::optional<sim::CommitEvent> next();
 
   /// Resets the record stream to the beginning.
   void rewind();
 
   /// All remaining records (convenience for tests and small traces).
-  std::vector<sim::SimConfig::TraceEvent> read_all();
+  std::vector<sim::CommitEvent> read_all();
 
  private:
   FileCursor cursor_;
@@ -93,7 +93,7 @@ class TraceReader {
   std::uint64_t records_read_ = 0;
   bool has_program_ = false;
   arch::Program program_;
-  sim::SimConfig::TraceEvent prev_{};
+  sim::CommitEvent prev_{};
 };
 
 }  // namespace erel::trace

@@ -50,7 +50,7 @@ void TraceWriter::write_header(const arch::Program* program) {
   out_.write(reinterpret_cast<const char*>(count_bytes.data()), 8);
 }
 
-void TraceWriter::append(const sim::SimConfig::TraceEvent& event) {
+void TraceWriter::append(const sim::CommitEvent& event) {
   EREL_CHECK(!finished_, "append after finish");
   // Per-instruction stage stamps are strictly increasing (the pipeline
   // dispatches before it issues, issues before it completes, ...); encode
@@ -74,6 +74,10 @@ void TraceWriter::append(const sim::SimConfig::TraceEvent& event) {
   out_.write(reinterpret_cast<const char*>(buf),
              static_cast<std::streamsize>(n));
   prev_ = event;
+  // The inst/rec pointers are only valid during the probe callback; never
+  // retain them past this call.
+  prev_.inst = nullptr;
+  prev_.rec = nullptr;
   ++count_;
 }
 

@@ -1,8 +1,8 @@
 // Streaming writer for the version-1 binary trace format (trace/format.hpp).
 //
 //   trace::TraceWriter writer(path, program);   // program embeds for replay
-//   config.trace = writer.hook();
-//   sim::Simulator(config).run(program);
+//   trace::CaptureProbe probe(writer);          // trace/capture.hpp
+//   sim::Simulator(config).run(program, {&probe});
 //   writer.finish();
 //
 // Records are delta-encoded against the previous committed instruction and
@@ -16,7 +16,7 @@
 #include <string>
 
 #include "arch/program.hpp"
-#include "sim/config.hpp"
+#include "sim/probe.hpp"
 
 namespace erel::trace {
 
@@ -32,8 +32,9 @@ class TraceWriter {
   TraceWriter& operator=(const TraceWriter&) = delete;
 
   /// Appends one committed-instruction record. Events must arrive in commit
-  /// order (the order the pipeline's trace hook produces them in).
-  void append(const sim::SimConfig::TraceEvent& event);
+  /// order (the order CaptureProbe::on_commit receives them in). Only the
+  /// POD prefix of the event is serialized; the inst/rec pointers are not.
+  void append(const sim::CommitEvent& event);
 
   /// Patches the record count into the header and closes the file. Called
   /// automatically by the destructor; idempotent.
@@ -41,19 +42,13 @@ class TraceWriter {
 
   [[nodiscard]] std::uint64_t records_written() const { return count_; }
 
-  /// A SimConfig::trace hook bound to this writer. The writer must outlive
-  /// the simulation it is recording.
-  [[nodiscard]] std::function<void(const sim::SimConfig::TraceEvent&)> hook() {
-    return [this](const sim::SimConfig::TraceEvent& ev) { append(ev); };
-  }
-
  private:
   void write_header(const arch::Program* program);
 
   std::ofstream out_;
   std::streampos count_pos_{};
   std::uint64_t count_ = 0;
-  sim::SimConfig::TraceEvent prev_{};
+  sim::CommitEvent prev_{};
   bool finished_ = false;
 };
 

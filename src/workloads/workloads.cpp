@@ -45,11 +45,17 @@ const std::vector<Workload>& registry() {
   return workloads;
 }
 
-const Workload& workload(const std::string& name) {
+const Workload* find_workload(const std::string& name) {
   for (const Workload& w : registry()) {
-    if (w.name == name) return w;
+    if (w.name == name) return &w;
   }
-  EREL_FATAL("unknown workload '", name, "'");
+  return nullptr;
+}
+
+const Workload& workload(const std::string& name) {
+  const Workload* w = find_workload(name);
+  if (w == nullptr) EREL_FATAL("unknown workload '", name, "'");
+  return *w;
 }
 
 bool is_trace_workload(const std::string& name) {

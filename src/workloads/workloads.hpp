@@ -40,6 +40,10 @@ const std::vector<Workload>& registry();
 /// Lookup by name; aborts on unknown names.
 const Workload& workload(const std::string& name);
 
+/// Lookup by name; nullptr on unknown names (CLI validation paths that
+/// want a usage message instead of an abort).
+const Workload* find_workload(const std::string& name);
+
 /// Name scheme for the trace-replay workload family: "trace:<path>" resolves
 /// to the program image embedded in a recorded binary trace (src/trace/),
 /// so recorded runs re-simulate under any configuration without their

@@ -62,6 +62,23 @@ TEST(Checkpoint, ArchStateResumeIsDeterministic) {
   }
 }
 
+namespace {
+
+/// Probe recording commit events (the successor of the old config.trace
+/// hook); the inst/rec pointers die with the callback, so they are nulled.
+struct CommitRecorder final : sim::Probe {
+  std::vector<sim::CommitEvent>& out;
+  explicit CommitRecorder(std::vector<sim::CommitEvent>& o) : out(o) {}
+  void on_commit(const sim::CommitEvent& ev) override {
+    sim::CommitEvent copy = ev;
+    copy.inst = nullptr;
+    copy.rec = nullptr;
+    out.push_back(copy);
+  }
+};
+
+}  // namespace
+
 TEST(Checkpoint, CoreResumeCommitsIdenticalStream) {
   const arch::Program program = workloads::assemble_workload("li");
   sim::SimConfig config;
@@ -70,13 +87,10 @@ TEST(Checkpoint, CoreResumeCommitsIdenticalStream) {
   config.check_oracle = true;
 
   // Uninterrupted detailed run.
-  std::vector<sim::SimConfig::TraceEvent> full;
+  std::vector<sim::CommitEvent> full;
   {
-    sim::SimConfig cfg = config;
-    cfg.trace = [&full](const sim::SimConfig::TraceEvent& ev) {
-      full.push_back(ev);
-    };
-    sim::Simulator(cfg).run(program);
+    CommitRecorder recorder(full);
+    sim::Simulator(config).run(program, {&recorder});
   }
   constexpr std::uint64_t kSkip = 5000;
   ASSERT_GT(full.size(), kSkip);
@@ -88,12 +102,10 @@ TEST(Checkpoint, CoreResumeCommitsIdenticalStream) {
   master.run(kSkip);
   const arch::Checkpoint ckpt = arch::capture(master);
 
-  std::vector<sim::SimConfig::TraceEvent> resumed;
-  sim::SimConfig cfg = config;
-  cfg.trace = [&resumed](const sim::SimConfig::TraceEvent& ev) {
-    resumed.push_back(ev);
-  };
-  pipeline::Core core(cfg, program, ckpt);
+  std::vector<sim::CommitEvent> resumed;
+  CommitRecorder recorder(resumed);
+  pipeline::Core core(config, program, ckpt);
+  core.attach_probe(&recorder);
   const sim::SimStats stats = core.run();
   EXPECT_TRUE(stats.halted);
 

@@ -9,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <memory>
 #include <sstream>
 
 #include "common/table.hpp"
@@ -16,6 +17,8 @@
 #include "harness/fingerprint.hpp"
 #include "harness/harness.hpp"
 #include "harness/results.hpp"
+#include "power/probe.hpp"
+#include "workloads/workloads.hpp"
 
 namespace erel {
 namespace {
@@ -135,6 +138,18 @@ TEST(PolicyName, AcceptsLongAliases) {
   EXPECT_EQ(core::parse_policy("ext"), PolicyKind::Extended);
 }
 
+TEST(PolicyName, TryParseReturnsNulloptInsteadOfAborting) {
+  EXPECT_EQ(core::try_parse_policy("basic"), PolicyKind::Basic);
+  EXPECT_EQ(core::try_parse_policy("bogus"), std::nullopt);
+  EXPECT_EQ(core::try_parse_policy(""), std::nullopt);
+}
+
+TEST(Workloads, FindWorkloadReturnsNullptrOnUnknownNames) {
+  EXPECT_NE(workloads::find_workload("li"), nullptr);
+  EXPECT_EQ(workloads::find_workload("li")->name, "li");
+  EXPECT_EQ(workloads::find_workload("no-such-kernel"), nullptr);
+}
+
 // ---------------------------------------------------------------------------
 // Fingerprints
 // ---------------------------------------------------------------------------
@@ -209,14 +224,29 @@ TEST(Fingerprint, ThreadCountNeverChangesTheHash) {
 TEST(Fingerprint, CallbacksAreNotFingerprintable) {
   sim::SimConfig config = tiny_config();
   EXPECT_TRUE(harness::fingerprintable("li", config));
-  config.trace = [](const sim::SimConfig::TraceEvent&) {};
-  EXPECT_FALSE(harness::fingerprintable("li", config));
   sim::SimConfig config2 = tiny_config();
   config2.policy_factory = [](core::RC, core::RegFileState& rf,
                               core::PipelineHooks& hooks) {
     return core::make_policy(PolicyKind::Conventional, rf, hooks);
   };
   EXPECT_FALSE(harness::fingerprintable("li", config2));
+  // Unknown workload names are likewise uncacheable instead of fatal.
+  EXPECT_FALSE(harness::fingerprintable("no-such-kernel", config));
+}
+
+TEST(Fingerprint, ProbeNamesExtendTheHash) {
+  // Declaring probes separates cache entries (cells must carry their
+  // metrics), while the no-probe hash stays the historical one.
+  const sim::SimConfig config = tiny_config();
+  const auto bare = harness::fingerprint_cell("li", config, std::nullopt);
+  const auto with_probe =
+      harness::fingerprint_cell("li", config, std::nullopt, {"power"});
+  EXPECT_NE(bare.value, with_probe.value);
+  EXPECT_EQ(bare.value,
+            harness::fingerprint_cell("li", config, std::nullopt, {}).value);
+  EXPECT_NE(
+      with_probe.value,
+      harness::fingerprint_cell("li", config, std::nullopt, {"other"}).value);
 }
 
 // ---------------------------------------------------------------------------
@@ -248,6 +278,7 @@ harness::ExpEntry fake_entry() {
   s.degenerate_windows = 1;
   s.samples = {{0, 100, 200}, {5000, 100, 150}};
   e.sampled = std::move(s);
+  e.metrics = {{"power/energy_nj", 1234.5625}, {"power/ed2", 0.1}};
   return e;
 }
 
@@ -274,6 +305,22 @@ TEST(ResultCache, SerializedEntryRoundTripsBitExactly) {
   EXPECT_EQ(back->sampled->total_instructions, 999999u);
   EXPECT_EQ(back->sampled->units_planned, 12u);
   EXPECT_EQ(back->sampled->samples, e.sampled->samples);
+  // Open probe metrics round-trip in order, bit-exactly (%.17g doubles).
+  EXPECT_EQ(back->metrics, e.metrics);
+  EXPECT_EQ(back->metric("power/energy_nj").value_or(0.0), 1234.5625);
+  EXPECT_EQ(back->metric("power/ed2").value_or(0.0), 0.1);
+  EXPECT_FALSE(back->metric("no/such").has_value());
+}
+
+TEST(ResultCache, CorruptMetricIsAMiss) {
+  const harness::ExpEntry e = fake_entry();
+  const std::string good = harness::serialize_entry(e, "00ff00ff00ff00ff");
+  std::string text = good;
+  const std::string from = "metric.power/energy_nj 1234.5625";
+  const std::size_t pos = text.find(from);
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, from.size(), "metric.power/energy_nj 12x4.5625");
+  EXPECT_FALSE(harness::parse_entry(text, "00ff00ff00ff00ff", e.key));
 }
 
 TEST(ResultCache, RejectsMismatchesAndTruncation) {
@@ -506,6 +553,72 @@ TEST(ResultSet, JsonSinkEmitsEveryCellWithStats) {
                 static_cast<unsigned long long>(
                     rs.entries()[0].stats.committed));
   EXPECT_NE(json.find(committed), std::string::npos);
+}
+
+TEST(ResultSet, ProbeMetricsFlowThroughSinksAndCache) {
+  TempDir dir;
+  const auto build = [&] {
+    harness::Experiment exp;
+    exp.base(tiny_config())
+        .workloads({"li"})
+        .policies({PolicyKind::Extended})
+        .phys_regs({48})
+        .probe("power",
+               [] { return std::make_unique<power::RixnerProbe>(); });
+    return exp;
+  };
+  const harness::ResultSet rs =
+      build().run({.threads = 1, .cache_dir = dir.str()});
+  ASSERT_EQ(rs.size(), 1u);
+  const harness::ExpEntry& e = rs.entries()[0];
+  ASSERT_TRUE(e.metric("power/energy_nj").has_value());
+  EXPECT_GT(*e.metric("power/energy_nj"), 0.0);
+  ASSERT_TRUE(e.metric("power/ed2").has_value());
+  const double cycles = static_cast<double>(e.stats.cycles);
+  EXPECT_NEAR(*e.metric("power/ed2"),
+              *e.metric("power/energy_nj") * cycles * cycles,
+              1e-9 * *e.metric("power/ed2"));
+  EXPECT_EQ(rs.metric_names(),
+            (std::vector<std::string>{"power/energy_nj", "power/ed2"}));
+
+  // The CSV sink gains the open metric columns, in metric_names() order.
+  const std::string csv_path = (dir.path / "metrics.csv").string();
+  rs.write_csv(csv_path);
+  std::ifstream csv(csv_path);
+  std::string header, row;
+  ASSERT_TRUE(std::getline(csv, header));
+  EXPECT_NE(header.find(",power/energy_nj,power/ed2"), std::string::npos);
+  ASSERT_TRUE(std::getline(csv, row));
+  char rendered[64];
+  std::snprintf(rendered, sizeof rendered, "%.17g",
+                *e.metric("power/energy_nj"));
+  EXPECT_NE(row.find(rendered), std::string::npos);
+
+  // The JSON sink carries a per-cell metrics object.
+  const std::string json_path = (dir.path / "metrics.json").string();
+  rs.write_json(json_path);
+  std::stringstream buf;
+  buf << std::ifstream(json_path).rdbuf();
+  EXPECT_NE(buf.str().find("\"metrics\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"power/energy_nj\": "), std::string::npos);
+
+  // Warm rerun: the cache hit restores the metrics bit-exactly.
+  const harness::ResultSet warm =
+      build().run({.threads = 1, .cache_dir = dir.str()});
+  EXPECT_EQ(warm.cache_hits(), 1u);
+  EXPECT_EQ(warm.entries()[0].metrics, e.metrics);
+
+  // A sweep without the probe must not be served the probed entry (the
+  // probe name is part of the fingerprint).
+  harness::Experiment bare;
+  bare.base(tiny_config())
+      .workloads({"li"})
+      .policies({PolicyKind::Extended})
+      .phys_regs({48});
+  const harness::ResultSet rs2 =
+      bare.run({.threads = 1, .cache_dir = dir.str()});
+  EXPECT_EQ(rs2.cache_hits(), 0u);
+  EXPECT_TRUE(rs2.entries()[0].metrics.empty());
 }
 
 TEST(ResultSet, DuplicateCellIsFatal) {

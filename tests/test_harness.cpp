@@ -64,10 +64,10 @@ TEST(Harness, RunAllPreservesOrderAndRunsInParallel) {
   specs.push_back({"li",
                    harness::experiment_config(core::PolicyKind::Conventional,
                                               48),
-                   "conv", {}});
+                   "conv", {}, {}});
   specs.push_back(
       {"li", harness::experiment_config(core::PolicyKind::Extended, 48),
-       "ext", {}});
+       "ext", {}, {}});
   const auto results = harness::run_all(specs, 2);
   ASSERT_EQ(results.size(), 2u);
   EXPECT_EQ(results[0].spec.tag, "conv");

@@ -3,8 +3,13 @@
 // (whose Alpha 21264 example the paper quotes as "about 1.22 KBytes").
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "power/probe.hpp"
 #include "power/rixner.hpp"
 #include "power/storage_cost.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
 
 namespace erel::power {
 namespace {
@@ -95,6 +100,63 @@ TEST(StorageCost, ScalesWithParameters) {
   const ExtendedCost small = extended_mechanism_cost(ExtendedCostParams{});
   const ExtendedCost large = extended_mechanism_cost(big);
   EXPECT_GT(large.relque_total_bits(), small.relque_total_bits());
+}
+
+// ---------------------------------------------------------------------------
+// RixnerProbe: the first built-in consumer of the probe API.
+// ---------------------------------------------------------------------------
+
+sim::SimConfig probe_config(core::PolicyKind policy) {
+  sim::SimConfig config;
+  config.policy = policy;
+  config.phys_int = config.phys_fp = 64;
+  config.check_oracle = false;
+  config.max_instructions = 15'000;
+  return config;
+}
+
+TEST(RixnerProbe, ExportsEnergyAndEd2) {
+  const arch::Program program = workloads::assemble_workload("li");
+  const sim::SimConfig config = probe_config(core::PolicyKind::Extended);
+  RixnerProbe probe;
+  auto core2 = sim::Simulator(config).make_core(program);
+  core2->attach_probe(&probe);
+  const sim::SimStats stats = core2->run();
+  std::vector<sim::Metric> metrics;
+  probe.export_metrics(config, core2->registry(), metrics);
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0].name, "power/energy_nj");
+  EXPECT_GT(metrics[0].value, 0.0);
+  EXPECT_EQ(metrics[1].name, "power/ed2");
+  const double cycles = static_cast<double>(stats.cycles);
+  EXPECT_NEAR(metrics[1].value, metrics[0].value * cycles * cycles,
+              1e-9 * metrics[1].value);
+  // Per-operand access counts: every commit reads <= 2 and writes <= 1.
+  const sim::StatRegistry& reg = core2->registry();
+  const std::uint64_t reads = reg.counter_value("power/rf_reads/int") +
+                              reg.counter_value("power/rf_reads/fp");
+  const std::uint64_t writes = reg.counter_value("power/rf_writes/int") +
+                               reg.counter_value("power/rf_writes/fp");
+  EXPECT_GT(reads, 0u);
+  EXPECT_GT(writes, 0u);
+  EXPECT_LE(reads, 2 * stats.committed);
+  EXPECT_LE(writes, stats.committed);
+  // Extended policy charges the LUs Table.
+  EXPECT_GT(reg.counter_value("power/lus_accesses"), 0u);
+}
+
+TEST(RixnerProbe, ConventionalPolicyHasNoLusTraffic) {
+  const arch::Program program = workloads::assemble_workload("li");
+  const sim::SimConfig config = probe_config(core::PolicyKind::Conventional);
+  RixnerProbe probe;
+  auto core = sim::Simulator(config).make_core(program);
+  core->attach_probe(&probe);
+  (void)core->run();
+  EXPECT_EQ(core->registry().counter_value("power/lus_accesses"), 0u);
+  std::vector<sim::Metric> conv_metrics;
+  probe.export_metrics(config, core->registry(), conv_metrics);
+  ASSERT_EQ(conv_metrics.size(), 2u);
+  EXPECT_GT(conv_metrics[0].value, 0.0);
 }
 
 }  // namespace

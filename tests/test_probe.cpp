@@ -1,0 +1,186 @@
+// sim::Probe event plumbing: delivery counts line up with the statistics,
+// event order is deterministic across runs, registers lifecycle events
+// balance, and fixed-stride channels cover the whole run.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/probe.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workloads.hpp"
+
+namespace erel {
+namespace {
+
+/// Serializes every event into a text log (for determinism comparison) and
+/// keeps per-kind counts.
+struct EventLog final : sim::Probe {
+  std::string log;
+  std::uint64_t cycles = 0, renames = 0, allocs = 0, releases = 0;
+  std::uint64_t commits = 0, squashes = 0, squashed_entries = 0;
+  std::uint64_t branches = 0, cache_accesses = 0;
+  bool ended = false;
+
+  void on_cycle(const sim::CycleEvent&) override { ++cycles; }
+  void on_rename(const sim::RenameEvent& ev) override {
+    ++renames;
+    log += "R" + std::to_string(ev.seq) + "@" + std::to_string(ev.cycle) +
+           ";";
+  }
+  void on_reg_alloc(const sim::RegEvent& ev) override {
+    ++allocs;
+    log += "A" + std::to_string(ev.reg) + (ev.reused ? "r" : "") + ";";
+  }
+  void on_reg_release(const sim::RegEvent& ev) override {
+    ++releases;
+    log += "F" + std::to_string(ev.reg) + (ev.squashed ? "s" : "") + ";";
+  }
+  void on_commit(const sim::CommitEvent& ev) override {
+    ++commits;
+    EXPECT_NE(ev.inst, nullptr);  // live-core commit events carry pointers
+    EXPECT_NE(ev.rec, nullptr);
+    log += "C" + std::to_string(ev.pc) + "@" + std::to_string(ev.commit_cycle) +
+           ";";
+  }
+  void on_squash(const sim::SquashEvent& ev) override {
+    ++squashes;
+    squashed_entries += ev.squashed_entries;
+  }
+  void on_branch_resolve(const sim::BranchEvent& ev) override {
+    ++branches;
+    log += "B" + std::to_string(ev.pc) + (ev.mispredicted ? "m" : "") + ";";
+  }
+  void on_cache_access(const sim::CacheAccessEvent&) override {
+    ++cache_accesses;
+  }
+  void on_run_end(sim::StatRegistry&) override { ended = true; }
+};
+
+sim::SimConfig probe_config() {
+  sim::SimConfig config;
+  config.policy = core::PolicyKind::Extended;
+  config.phys_int = config.phys_fp = 48;
+  config.check_oracle = false;
+  config.max_instructions = 15000;
+  return config;
+}
+
+TEST(Probe, EventCountsMatchStatistics) {
+  const arch::Program program = workloads::assemble_workload("li");
+  EventLog log;
+  const sim::SimStats stats =
+      sim::Simulator(probe_config()).run(program, {&log});
+
+  EXPECT_TRUE(log.ended);
+  EXPECT_EQ(log.cycles, stats.cycles);
+  EXPECT_EQ(log.commits, stats.committed);
+  // Renames include wrong-path work: never fewer than commits.
+  EXPECT_GE(log.renames, stats.committed);
+  EXPECT_EQ(log.branches,
+            stats.branches.cond_branches + stats.branches.indirect_jumps);
+  EXPECT_GT(log.cache_accesses, 0u);
+  // Mispredicted work exists in this kernel, so squashes must be observed.
+  ASSERT_GT(stats.branches.cond_mispredicts, 0u);
+  EXPECT_GT(log.squashes, 0u);
+  EXPECT_GT(log.squashed_entries, 0u);
+}
+
+TEST(Probe, RegisterLifecycleEventsBalance) {
+  const arch::Program program = workloads::assemble_workload("compress");
+  EventLog log;
+  (void)sim::Simulator(probe_config()).run(program, {&log});
+  EXPECT_GT(log.allocs, 0u);
+  EXPECT_GT(log.releases, 0u);
+  // Every release ends a version that an observed alloc started, except the
+  // initial architectural versions (never alloc-evented); at most
+  // 2 * kNumLogicalRegs allocations can still be in flight at the end.
+  EXPECT_GE(log.allocs + 2ull * isa::kNumLogicalRegs, log.releases);
+  EXPECT_GE(log.releases + 2ull * 48, log.allocs);
+}
+
+TEST(Probe, EventOrderIsDeterministic) {
+  const arch::Program program = workloads::assemble_workload("li");
+  EventLog a, b;
+  (void)sim::Simulator(probe_config()).run(program, {&a});
+  (void)sim::Simulator(probe_config()).run(program, {&b});
+  EXPECT_EQ(a.log, b.log);  // bit-identical event sequence
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.squashed_entries, b.squashed_entries);
+}
+
+TEST(Probe, FanOutDeliversToEveryProbeInAttachOrder) {
+  const arch::Program program = workloads::assemble_workload("li");
+  EventLog first, second;
+  (void)sim::Simulator(probe_config()).run(program, {&first, &second});
+  EXPECT_EQ(first.log, second.log);
+  EXPECT_EQ(first.commits, second.commits);
+}
+
+TEST(Probe, ProbesCanRegisterOwnCountersInTheCoreRegistry) {
+  struct StoreCounter final : sim::Probe {
+    sim::StatRegistry::Counter* stores = nullptr;
+    void on_run_begin(const sim::SimConfig&,
+                      sim::StatRegistry& reg) override {
+      stores = &reg.counter("mine/stores");
+    }
+    void on_cache_access(const sim::CacheAccessEvent& ev) override {
+      if (ev.is_write) ++*stores;
+    }
+  } probe;
+  const arch::Program program = workloads::assemble_workload("li");
+  auto core = sim::Simulator(probe_config()).make_core(program);
+  core->attach_probe(&probe);
+  (void)core->run();
+  EXPECT_GT(core->registry().counter_value("mine/stores"), 0u);
+}
+
+TEST(Probe, StatStrideRecordsChannelsCoveringTheRun) {
+  sim::SimConfig config = probe_config();
+  config.stat_stride = 512;
+  const arch::Program program = workloads::assemble_workload("li");
+  auto core = sim::Simulator(config).make_core(program);
+  const sim::SimStats stats = core->run();
+
+  const sim::StatRegistry& reg = core->registry();
+  const std::uint64_t buckets = (stats.cycles + 511) / 512;
+  const auto* commits = reg.find_channel("channel/commit/committed");
+  ASSERT_NE(commits, nullptr);
+  EXPECT_EQ(commits->stride, 512u);
+  EXPECT_EQ(commits->points.size(), buckets);
+  double committed = 0;
+  for (const double p : commits->points) committed += p;
+  EXPECT_DOUBLE_EQ(committed, static_cast<double>(stats.committed));
+
+  // Occupancy channels: per-stride averages whose cycle-weighted mean must
+  // reproduce the whole-run Figure 3 averages exactly.
+  for (unsigned c = 0; c < 2; ++c) {
+    const std::string base = std::string("channel/occupancy/") +
+                             (c == 0 ? "int" : "fp") + "/";
+    const auto* empty = reg.find_channel(base + "empty");
+    const auto* ready = reg.find_channel(base + "ready");
+    const auto* idle = reg.find_channel(base + "idle");
+    ASSERT_NE(empty, nullptr);
+    ASSERT_NE(ready, nullptr);
+    ASSERT_NE(idle, nullptr);
+    EXPECT_EQ(empty->points.size(), buckets);
+    double weighted = 0;
+    for (std::uint64_t k = 0; k < buckets; ++k) {
+      const double covered =
+          static_cast<double>(std::min<std::uint64_t>(512, stats.cycles -
+                                                               k * 512));
+      weighted += empty->points[k] * covered;
+    }
+    EXPECT_NEAR(weighted / static_cast<double>(stats.cycles),
+                stats.occupancy[c].avg_empty, 1e-9);
+  }
+
+  // Channels never change the simulated results.
+  const sim::SimStats plain =
+      sim::Simulator(probe_config()).run(program);
+  EXPECT_EQ(plain.cycles, stats.cycles);
+  EXPECT_EQ(plain.committed, stats.committed);
+}
+
+}  // namespace
+}  // namespace erel

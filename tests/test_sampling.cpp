@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "harness/harness.hpp"
 #include "sim/sampling.hpp"
@@ -87,12 +88,54 @@ TEST(Sampling, MeasuredWindowCountersAccumulate) {
   EXPECT_GT(sampled.measured.cycles, 0u);
   EXPECT_GT(sampled.measured.branches.cond_branches, 0u);
   EXPECT_GT(sampled.measured.l1d.accesses, 0u);
+  // Policy counters and occupancy now merge too (registry-based merging):
+  // `measured` is exactly the SimStats view of the merged registry.
+  EXPECT_GT(sampled.measured.policy_stats[0].early_commit_releases, 0u);
+  EXPECT_GT(sampled.measured.occupancy[0].avg_allocated(), 0.0);
+  const sim::SimStats view = sim::materialize_sim_stats(sampled.registry);
+  EXPECT_EQ(view.cycles, sampled.measured.cycles);
+  EXPECT_EQ(view.committed, sampled.measured.committed);
+  EXPECT_EQ(view.stalls.free_list_empty,
+            sampled.measured.stalls.free_list_empty);
+  EXPECT_EQ(view.policy_stats[0].early_commit_releases,
+            sampled.measured.policy_stats[0].early_commit_releases);
+}
+
+TEST(Sampling, ProbesAttachPerWindowAndMergeThroughTheRegistry) {
+  // A probe that counts commits into its own registry entry: each window
+  // runs a fresh instance, the merged registry sums them, and the total
+  // must equal the merged measured commit count.
+  struct CommitCounter final : sim::Probe {
+    sim::StatRegistry::Counter* commits = nullptr;
+    void on_run_begin(const sim::SimConfig&,
+                      sim::StatRegistry& reg) override {
+      commits = &reg.counter("test/commits");
+    }
+    void on_commit(const sim::CommitEvent&) override { ++*commits; }
+  };
+  const std::vector<sim::ProbeSpec> probes = {
+      {"commit-counter", [] { return std::make_unique<CommitCounter>(); }}};
+
+  const arch::Program program = workloads::assemble_workload("li");
+  sim::SamplingConfig s = test_sampling();
+  s.threads = 1;
+  const sim::SampledStats serial =
+      sim::SampledSimulator(test_config(), s).run(program, probes);
+  ASSERT_GT(serial.samples.size(), 1u);
+  EXPECT_EQ(serial.registry.counter_value("test/commits"),
+            serial.measured.committed);
+
+  // Sharded probes stay per-window (race-free) and merge bit-identically.
+  s.threads = 4;
+  const sim::SampledStats sharded =
+      sim::SampledSimulator(test_config(), s).run(program, probes);
+  EXPECT_EQ(serial.registry, sharded.registry);
 }
 
 TEST(Sampling, HarnessRunsSampledSpecs) {
   harness::RunSpec full_spec{
       "li", harness::experiment_config(core::PolicyKind::Extended, 64),
-      "full", std::nullopt};
+      "full", std::nullopt, {}};
   harness::RunSpec sampled_spec = full_spec;
   sampled_spec.tag = "sampled";
   sampled_spec.sampling = test_sampling();
@@ -131,6 +174,9 @@ void expect_stats_identical(const sim::SampledStats& a,
   // Bit-for-bit, not approximately: the merge is deterministic.
   EXPECT_EQ(a.cpi_mean, b.cpi_mean);
   EXPECT_EQ(a.ipc_ci95, b.ipc_ci95);
+  // Every registry metric — counters, occupancy integral accumulators,
+  // distributions, channels — must merge bit-identically, not just IPC.
+  EXPECT_EQ(a.registry, b.registry);
 }
 
 TEST(SamplingPlacement, SameSeedReproducesIdenticalSamples) {
@@ -218,7 +264,7 @@ TEST(SamplingSharded, MatchesSerialBitForBit) {
 TEST(SamplingSharded, HarnessRunsShardedSpecs) {
   harness::RunSpec spec{
       "li", harness::experiment_config(core::PolicyKind::Extended, 64),
-      "sharded", test_sampling()};
+      "sharded", test_sampling(), {}};
   spec.sampling->placement = sim::Placement::kStratified;
   spec.sampling->threads = 2;
   const auto results = harness::run_all({spec}, 1);

@@ -1,29 +1,38 @@
-// Pipeline trace callback: event ordering and stage-cycle monotonicity for
-// every committed instruction.
+// Commit-event probes (the successor of the old SimConfig::trace hook):
+// event ordering and stage-cycle monotonicity for every committed
+// instruction.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "asmkit/assembler.hpp"
+#include "sim/probe.hpp"
 #include "sim/simulator.hpp"
 #include "workloads/workloads.hpp"
 
 namespace erel {
 namespace {
 
+struct CommitRecorder final : sim::Probe {
+  std::vector<sim::CommitEvent> events;
+  void on_commit(const sim::CommitEvent& ev) override {
+    sim::CommitEvent copy = ev;
+    copy.inst = nullptr;  // pointers are valid during the callback only
+    copy.rec = nullptr;
+    events.push_back(copy);
+  }
+};
+
 TEST(Trace, StageCyclesAreMonotonePerInstruction) {
   sim::SimConfig config;
   config.policy = core::PolicyKind::Extended;
   config.phys_int = config.phys_fp = 48;
-  std::vector<sim::SimConfig::TraceEvent> events;
-  config.trace = [&events](const sim::SimConfig::TraceEvent& ev) {
-    events.push_back(ev);
-  };
-  const sim::SimStats stats =
-      sim::Simulator(config).run(workloads::assemble_workload("li"));
-  ASSERT_EQ(events.size(), stats.committed);
+  CommitRecorder recorder;
+  const sim::SimStats stats = sim::Simulator(config).run(
+      workloads::assemble_workload("li"), {&recorder});
+  ASSERT_EQ(recorder.events.size(), stats.committed);
   std::uint64_t prev_commit = 0;
-  for (const auto& ev : events) {
+  for (const auto& ev : recorder.events) {
     EXPECT_LT(ev.dispatch_cycle, ev.issue_cycle);
     EXPECT_LT(ev.issue_cycle, ev.complete_cycle);
     EXPECT_LT(ev.complete_cycle, ev.commit_cycle);
@@ -34,7 +43,8 @@ TEST(Trace, StageCyclesAreMonotonePerInstruction) {
 
 TEST(Trace, OnlyCommittedInstructionsAppear) {
   // Heavy misprediction: far fewer commits than fetched instructions; the
-  // trace must contain exactly the committed ones (every PC architectural).
+  // commit events must cover exactly the committed ones (every PC
+  // architectural).
   const char* src = R"(
 main:
   li r5, 500
@@ -56,22 +66,31 @@ skip:
   const arch::Program program = asmkit::assemble(src);
   sim::SimConfig config;
   config.phys_int = config.phys_fp = 48;
-  std::vector<std::uint64_t> pcs;
-  config.trace = [&pcs](const sim::SimConfig::TraceEvent& ev) {
-    pcs.push_back(ev.pc);
-  };
-  sim::Simulator(config).run(program);
+  CommitRecorder recorder;
+  sim::Simulator(config).run(program, {&recorder});
   // Re-execute functionally and compare PCs one by one.
   arch::ArchState reference(program);
-  for (const std::uint64_t pc : pcs) {
+  for (const auto& ev : recorder.events) {
     const arch::StepInfo info = reference.step();
-    ASSERT_EQ(info.pc, pc);
+    ASSERT_EQ(info.pc, ev.pc);
   }
 }
 
-TEST(Trace, DisabledByDefault) {
+TEST(Trace, ProbesDoNotChangeResults) {
+  // Attaching observers must leave the simulated statistics untouched.
+  const arch::Program program = workloads::assemble_workload("li");
   sim::SimConfig config;
-  EXPECT_FALSE(static_cast<bool>(config.trace));
+  config.policy = core::PolicyKind::Extended;
+  config.phys_int = config.phys_fp = 48;
+  const sim::SimStats bare = sim::Simulator(config).run(program);
+  CommitRecorder recorder;
+  const sim::SimStats probed =
+      sim::Simulator(config).run(program, {&recorder});
+  EXPECT_EQ(bare.cycles, probed.cycles);
+  EXPECT_EQ(bare.committed, probed.committed);
+  EXPECT_EQ(bare.stalls.free_list_empty, probed.stalls.free_list_empty);
+  EXPECT_EQ(bare.branches.cond_mispredicts, probed.branches.cond_mispredicts);
+  EXPECT_EQ(recorder.events.size(), probed.committed);
 }
 
 }  // namespace

@@ -28,8 +28,8 @@ std::vector<char> file_bytes(const std::string& path) {
   return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
 }
 
-void expect_events_equal(const std::vector<SimConfig::TraceEvent>& a,
-                         const std::vector<SimConfig::TraceEvent>& b) {
+void expect_events_equal(const std::vector<sim::CommitEvent>& a,
+                         const std::vector<sim::CommitEvent>& b) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].seq, b[i].seq) << "record " << i;
@@ -47,13 +47,27 @@ TEST(TraceIo, RoundTripIsBitExact) {
   const arch::Program program = workloads::assemble_workload("li");
   SimConfig config;
   config.phys_int = config.phys_fp = 48;
-  std::vector<SimConfig::TraceEvent> captured;
-  config.trace = [&captured](const SimConfig::TraceEvent& ev) {
-    captured.push_back(ev);
-  };
-  const sim::SimStats stats = trace::capture(program, config, path);
+  // Capture composes with other probes: record the same commit stream
+  // through a second observer and compare against the decoded file.
+  struct Recorder final : sim::Probe {
+    std::vector<sim::CommitEvent> events;
+    void on_commit(const sim::CommitEvent& ev) override {
+      sim::CommitEvent copy = ev;
+      copy.inst = nullptr;
+      copy.rec = nullptr;
+      events.push_back(copy);
+    }
+  } recorder;
+  sim::SimStats stats;
+  {
+    trace::TraceWriter writer(path, program);
+    trace::CaptureProbe capture(writer);
+    stats = sim::Simulator(config).run(program, {&capture, &recorder});
+    writer.finish();
+  }
+  const std::vector<sim::CommitEvent>& captured = recorder.events;
   ASSERT_GT(stats.committed, 0u);
-  ASSERT_EQ(captured.size(), stats.committed);  // user hook still fires
+  ASSERT_EQ(captured.size(), stats.committed);  // both probes saw every commit
 
   trace::TraceReader reader(path);
   EXPECT_EQ(reader.version(), trace::kFormatVersion);
@@ -98,7 +112,7 @@ TEST(TraceIo, TimingOnlyTraceHasNoProgram) {
   const std::string path = temp_path("timing_only.ertr");
   {
     trace::TraceWriter writer(path);
-    SimConfig::TraceEvent ev;
+    sim::CommitEvent ev;
     ev.seq = 7;
     ev.pc = 0x10000;
     ev.encoding = 0xdeadbeef;
