@@ -20,7 +20,8 @@ void load_program(const Program& program, SparseMemory& mem) {
   for (const DataSegment& seg : program.data) mem.write_block(seg.base, seg.bytes);
 }
 
-ArchState::ArchState(const Program& program) : pc_(program.entry) {
+ArchState::ArchState(const Program& program, const DecodedProgram* decoded)
+    : pc_(program.entry), decoded_(decoded) {
   load_program(program, mem_);
 }
 
@@ -50,24 +51,116 @@ StepInfo ArchState::step() {
   if (halted_) {
     info.halted = true;
     info.next_pc = pc_;
+    info.kind = MicroKind::kHalt;
     return info;
   }
+  if (decoded_ != nullptr && !code_dirty_ && decoded_->contains(pc_)) {
+    step_decoded(decoded_->at(pc_), info);
+  } else {
+    step_bytes(info);
+  }
+  return info;
+}
 
+void ArchState::step_decoded(const MicroOp& mop, StepInfo& info) {
+  info.inst = mop.inst;
+  info.kind = mop.kind;
+  ++icount_;
+
+  const std::uint64_t a = src_value(mop.src1, mop.inst.rs1);
+  const std::uint64_t b = src_value(mop.src2, mop.inst.rs2);
+  std::uint64_t next_pc = pc_ + 4;
+
+  switch (mop.kind) {
+    case MicroKind::kIllegal:
+      info.illegal = true;
+      info.halted = true;
+      halted_ = true;
+      info.next_pc = pc_;
+      return;
+    case MicroKind::kHalt:
+      halted_ = true;
+      info.halted = true;
+      info.next_pc = pc_;
+      return;
+    case MicroKind::kLoad: {
+      const std::uint64_t addr = a + static_cast<std::uint64_t>(mop.simm);
+      std::uint64_t value = mem_.read(addr, mop.mem_bytes);
+      if (mop.sext32) value = static_cast<std::uint64_t>(sext(value, 32));
+      info.is_load = true;
+      info.mem_addr = addr;
+      info.mem_bytes = mop.mem_bytes;
+      info.has_dst = mop.has_dst;
+      info.dst_class = mop.dst;
+      info.dst_reg = mop.inst.rd;
+      info.dst_value = value;
+      if (mop.has_dst) {
+        if (mop.dst == RegClass::Int) set_int_reg(mop.inst.rd, value);
+        else set_fp_reg(mop.inst.rd, value);
+      }
+      break;
+    }
+    case MicroKind::kStore: {
+      const std::uint64_t addr = a + static_cast<std::uint64_t>(mop.simm);
+      info.is_store = true;
+      info.mem_addr = addr;
+      info.mem_bytes = mop.mem_bytes;
+      info.store_value = b;
+      note_store(addr, mop.mem_bytes);
+      mem_.write(addr, b, mop.mem_bytes);
+      break;
+    }
+    case MicroKind::kCondBranch:
+      if (isa::branch_taken(mop.inst.op, a, b))
+        next_pc = pc_ + static_cast<std::uint64_t>(mop.disp);
+      break;
+    case MicroKind::kDirectJump:
+      info.has_dst = mop.has_dst;
+      info.dst_class = RegClass::Int;
+      info.dst_reg = mop.inst.rd;
+      info.dst_value = pc_ + 4;
+      if (mop.has_dst) set_int_reg(mop.inst.rd, pc_ + 4);
+      next_pc = pc_ + static_cast<std::uint64_t>(mop.disp);
+      break;
+    case MicroKind::kIndirectJump: {
+      // Link value is read before the target in case rd == rs1.
+      const std::uint64_t target =
+          (a + static_cast<std::uint64_t>(mop.simm)) & ~std::uint64_t{3};
+      info.has_dst = mop.has_dst;
+      info.dst_class = RegClass::Int;
+      info.dst_reg = mop.inst.rd;
+      info.dst_value = pc_ + 4;
+      if (mop.has_dst) set_int_reg(mop.inst.rd, pc_ + 4);
+      next_pc = target;
+      break;
+    }
+    case MicroKind::kAlu: {
+      const std::uint64_t value = isa::exec_alu(mop.inst.op, a, b, mop.inst.imm);
+      info.has_dst = mop.has_dst;
+      info.dst_class = mop.dst;
+      info.dst_reg = mop.inst.rd;
+      info.dst_value = value;
+      if (mop.has_dst) {
+        if (mop.dst == RegClass::Int) set_int_reg(mop.inst.rd, value);
+        else set_fp_reg(mop.inst.rd, value);
+      }
+      break;
+    }
+  }
+
+  pc_ = next_pc;
+  info.next_pc = next_pc;
+}
+
+void ArchState::step_bytes(StepInfo& info) {
   const std::uint32_t word = mem_.read_u32(pc_);
   const DecodedInst inst = isa::decode(word);
   info.inst = inst;
+  info.kind = DecodedProgram::kind_of(inst);
   ++icount_;
 
-  auto src = [this](RegClass cls, unsigned idx) -> std::uint64_t {
-    switch (cls) {
-      case RegClass::Int: return x_[idx];
-      case RegClass::Fp: return f_[idx];
-      case RegClass::None: return 0;
-    }
-    return 0;
-  };
-  const std::uint64_t a = src(inst.src1_class(), inst.rs1);
-  const std::uint64_t b = src(inst.src2_class(), inst.rs2);
+  const std::uint64_t a = src_value(inst.src1_class(), inst.rs1);
+  const std::uint64_t b = src_value(inst.src2_class(), inst.rs2);
 
   std::uint64_t next_pc = pc_ + 4;
 
@@ -78,14 +171,14 @@ StepInfo ArchState::step() {
     info.halted = true;
     halted_ = true;
     info.next_pc = pc_;
-    return info;
+    return;
   }
 
   if (inst.is_halt()) {
     halted_ = true;
     info.halted = true;
     info.next_pc = pc_;
-    return info;
+    return;
   }
 
   if (inst.is_load()) {
@@ -109,6 +202,7 @@ StepInfo ArchState::step() {
     info.mem_addr = addr;
     info.mem_bytes = inst.mem_bytes();
     info.store_value = b;
+    note_store(addr, inst.mem_bytes());
     mem_.write(addr, b, inst.mem_bytes());
   } else if (inst.is_cond_branch()) {
     if (isa::branch_taken(inst.op, a, b))
@@ -145,7 +239,6 @@ StepInfo ArchState::step() {
 
   pc_ = next_pc;
   info.next_pc = next_pc;
-  return info;
 }
 
 std::uint64_t ArchState::run(std::uint64_t max_steps) {

@@ -4,12 +4,19 @@
 // instruction at a time with precise sequential semantics. It is also used
 // standalone to validate workload checksums and to count dynamic
 // instructions (Table 3 reproduction).
+//
+// Fast path: when constructed with a DecodedProgram, step() executes from
+// the pre-decoded micro-op array (one enum dispatch, no byte fetch or
+// re-decode) whenever the PC is inside the cached code image; any store
+// into the image flips it back to the byte-accurate path permanently, so
+// results are bit-identical with or without the cache.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <optional>
 
+#include "arch/decoded_program.hpp"
 #include "arch/memory.hpp"
 #include "arch/program.hpp"
 #include "isa/isa.hpp"
@@ -23,6 +30,7 @@ struct StepInfo {
   std::uint64_t pc = 0;
   std::uint64_t next_pc = 0;
   isa::DecodedInst inst;
+  MicroKind kind = MicroKind::kIllegal;  // dispatch class of `inst`
   bool has_dst = false;
   isa::RegClass dst_class = isa::RegClass::None;
   std::uint8_t dst_reg = 0;
@@ -39,7 +47,10 @@ struct StepInfo {
 class ArchState {
  public:
   /// Loads a program: copies code + data into memory and sets the PC.
-  explicit ArchState(const Program& program);
+  /// `decoded` (optional, non-owning, caller keeps it alive) enables the
+  /// decode-once fast path; it must have been built from the same program.
+  explicit ArchState(const Program& program,
+                     const DecodedProgram* decoded = nullptr);
 
   /// Executes exactly one instruction. Returns the step record; after a HALT
   /// the state is frozen and further steps keep returning halted records.
@@ -51,6 +62,17 @@ class ArchState {
   [[nodiscard]] bool halted() const { return halted_; }
   [[nodiscard]] std::uint64_t pc() const { return pc_; }
   [[nodiscard]] std::uint64_t instructions_executed() const { return icount_; }
+
+  /// True once a store has landed inside the decoded code image: the
+  /// pre-decoded records no longer match memory, so this machine (and any
+  /// checkpoint taken from it) must execute byte-accurately from here on.
+  [[nodiscard]] bool code_dirtied() const { return code_dirty_; }
+
+  /// Drops the decode cache: every further step is byte-accurate. Used by
+  /// resume paths that restore memory behind this machine's back (the
+  /// restored image may not match the static program the cache was built
+  /// from — note_store cannot see such writes).
+  void detach_decoded() { decoded_ = nullptr; }
 
   [[nodiscard]] std::uint64_t int_reg(unsigned idx) const;
   [[nodiscard]] std::uint64_t fp_reg(unsigned idx) const;
@@ -72,12 +94,37 @@ class ArchState {
   }
 
  private:
+  /// Executes one instruction from the pre-decoded record (pc_ verified to
+  /// be inside the decoded image by the caller).
+  void step_decoded(const MicroOp& mop, StepInfo& info);
+
+  /// Byte-accurate path: fetches and decodes from memory (original engine).
+  void step_bytes(StepInfo& info);
+
+  [[nodiscard]] std::uint64_t src_value(isa::RegClass cls,
+                                        unsigned idx) const {
+    switch (cls) {
+      case isa::RegClass::Int: return x_[idx];
+      case isa::RegClass::Fp: return f_[idx];
+      case isa::RegClass::None: return 0;
+    }
+    return 0;
+  }
+
+  /// Marks the decode cache stale when a store overlaps the code image.
+  void note_store(std::uint64_t addr, unsigned size) {
+    if (decoded_ != nullptr && decoded_->covers(addr, size))
+      code_dirty_ = true;
+  }
+
   std::array<std::uint64_t, isa::kNumLogicalRegs> x_{};  // x_[0] stays 0
   std::array<std::uint64_t, isa::kNumLogicalRegs> f_{};
   SparseMemory mem_;
   std::uint64_t pc_ = 0;
   std::uint64_t icount_ = 0;
   bool halted_ = false;
+  const DecodedProgram* decoded_ = nullptr;  // non-owning
+  bool code_dirty_ = false;
 };
 
 /// Loads `program` into `mem` (shared by ArchState and the timing simulator).

@@ -7,9 +7,12 @@
 namespace erel::arch {
 
 void capture_memory(const SparseMemory& mem, Checkpoint& out) {
+  // Bulk path: one sorted sweep over the resident set instead of a page-map
+  // lookup per page (sampled planning captures a checkpoint per unit, so
+  // this runs thousands of times on long programs).
   out.pages.clear();
-  for (const std::uint64_t base : mem.page_bases()) {
-    const std::uint8_t* data = mem.page_data(base);
+  out.pages.reserve(mem.resident_pages());
+  for (const auto& [base, data] : mem.pages_snapshot()) {
     EREL_CHECK(data != nullptr);
     out.pages.push_back(
         {base, std::vector<std::uint8_t>(data, data + SparseMemory::kPageBytes)});

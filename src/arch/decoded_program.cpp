@@ -1,0 +1,40 @@
+#include "arch/decoded_program.hpp"
+
+namespace erel::arch {
+
+MicroKind DecodedProgram::kind_of(const isa::DecodedInst& inst) {
+  if (inst.op == isa::Opcode::ILLEGAL) return MicroKind::kIllegal;
+  const isa::OpInfo& info = inst.info();
+  if (info.flags & isa::kFlagHalt) return MicroKind::kHalt;
+  if (info.flags & isa::kFlagLoad) return MicroKind::kLoad;
+  if (info.flags & isa::kFlagStore) return MicroKind::kStore;
+  if (info.flags & isa::kFlagCondBranch) return MicroKind::kCondBranch;
+  if (info.flags & isa::kFlagDirectJump) return MicroKind::kDirectJump;
+  if (info.flags & isa::kFlagIndirectJump) return MicroKind::kIndirectJump;
+  return MicroKind::kAlu;
+}
+
+MicroOp DecodedProgram::make_op(std::uint32_t word) {
+  MicroOp op;
+  op.inst = isa::decode(word);
+  op.kind = kind_of(op.inst);
+  const isa::OpInfo& info = op.inst.info();
+  op.src1 = info.src1;
+  op.src2 = info.src2;
+  op.dst = info.dst;
+  op.mem_bytes = info.mem_bytes;
+  op.has_dst = op.inst.has_dst();
+  op.sext32 = op.inst.op == isa::Opcode::LW;
+  op.simm = std::int64_t{op.inst.imm};
+  op.disp = std::int64_t{op.inst.imm} * 4;
+  return op;
+}
+
+DecodedProgram::DecodedProgram(const Program& program)
+    : code_base_(program.code_base),
+      code_bytes_(4 * program.code.size()) {
+  ops_.reserve(program.code.size());
+  for (const std::uint32_t word : program.code) ops_.push_back(make_op(word));
+}
+
+}  // namespace erel::arch

@@ -2,6 +2,16 @@
 // timing simulator's committed state. Pages materialize on first touch;
 // reads of untouched memory return zero (wrong-path accesses must never
 // fault or allocate).
+//
+// Hot-path front end: a small direct-mapped page-pointer cache (a software
+// TLB) sits in front of the page map, so the common read/write resolves with
+// one tag compare + pointer arithmetic instead of a hash lookup. The TLB is
+// purely an accelerator — it only ever caches pointers to materialized
+// pages (node-based map storage keeps them stable), absent-page reads are
+// never cached (the page may materialize later via a write), and clear()
+// drops it wholesale — so observable behaviour is bit-identical with the
+// TLB on or off. `set_tlb_enabled(false)` exists for A/B throughput
+// measurements (bench/sim_throughput), not for correctness.
 #pragma once
 
 #include <array>
@@ -9,6 +19,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace erel::arch {
@@ -32,7 +43,8 @@ class SparseMemory {
     return read(addr, 8);
   }
 
-  /// Bulk copy-in used by the program loader.
+  /// Bulk copy-in used by the program loader and checkpoint restore: touches
+  /// each covered page once and memcpys page-sized chunks.
   void write_block(std::uint64_t addr, std::span<const std::uint8_t> bytes);
 
   /// Number of pages materialized so far (observability for tests).
@@ -48,16 +60,53 @@ class SparseMemory {
   /// Raw bytes of the resident page containing `addr` (nullptr if absent).
   [[nodiscard]] const std::uint8_t* page_data(std::uint64_t addr) const;
 
+  /// Every resident page as (base address, raw bytes), sorted by base: one
+  /// map sweep instead of a lookup per page (checkpoint capture's bulk
+  /// path). Pointers are valid until the next clear().
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, const std::uint8_t*>>
+  pages_snapshot() const;
+
   /// Drops every page (restore starts from a blank address space).
-  void clear() { pages_.clear(); }
+  void clear() {
+    pages_.clear();
+    flush_tlb();
+  }
+
+  /// Disables (or re-enables) the page-pointer cache. Results are identical
+  /// either way; the switch exists so throughput benchmarks can report the
+  /// map-lookup baseline honestly.
+  void set_tlb_enabled(bool enabled) {
+    tlb_enabled_ = enabled;
+    flush_tlb();
+  }
 
  private:
   using Page = std::array<std::uint8_t, kPageBytes>;
+
+  /// Direct-mapped page-pointer cache. kNoPage tags empty slots (page index
+  /// ~0 would need addr >= 2^64 - 4096, unreachable).
+  struct TlbEntry {
+    std::uint64_t page = kNoPage;
+    Page* data = nullptr;
+  };
+  static constexpr std::uint64_t kNoPage = ~std::uint64_t{0};
+  static constexpr std::size_t kTlbSlots = 64;  // power of two
+
+  void flush_tlb() const {
+    for (TlbEntry& e : tlb_) e = TlbEntry{};
+  }
+
+  /// Resolves `addr` to its materialized page via the TLB, filling the slot
+  /// on a map hit; nullptr when the page is absent. Const because resolving
+  /// is logically read-only (the TLB is a mutable accelerator).
+  Page* lookup_page(std::uint64_t addr) const;
 
   [[nodiscard]] const Page* find_page(std::uint64_t addr) const;
   Page& touch_page(std::uint64_t addr);
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  mutable std::array<TlbEntry, kTlbSlots> tlb_{};
+  bool tlb_enabled_ = true;
 };
 
 }  // namespace erel::arch

@@ -12,33 +12,30 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
              "cache geometry does not divide evenly");
   sets_ = config.size_bytes / (config.line_bytes * config.associativity);
   EREL_CHECK(is_pow2(sets_), "set count must be a power of two");
+  line_shift_ = log2_exact(config.line_bytes);
+  tag_shift_ = line_shift_ + log2_exact(sets_);
+  set_mask_ = sets_ - 1;
   ways_.resize(sets_ * config.associativity);
 }
 
-std::uint64_t Cache::set_index(std::uint64_t addr) const {
-  return (addr / config_.line_bytes) & (sets_ - 1);
-}
-
-std::uint64_t Cache::tag_of(std::uint64_t addr) const {
-  return addr / config_.line_bytes / sets_;
-}
-
 bool Cache::contains(std::uint64_t addr) const {
-  const std::uint64_t set = set_index(addr);
   const std::uint64_t tag = tag_of(addr);
+  const Way* set_ways = ways_.data() + set_index(addr) * config_.associativity;
   for (unsigned w = 0; w < config_.associativity; ++w) {
-    const Way& way = ways_[set * config_.associativity + w];
-    if (way.valid && way.tag == tag) return true;
+    if (set_ways[w].valid && set_ways[w].tag == tag) return true;
   }
   return false;
 }
 
 bool Cache::access(std::uint64_t addr, bool is_write) {
   ++stats_.accesses;
-  const std::uint64_t set = set_index(addr);
   const std::uint64_t tag = tag_of(addr);
+  // The set's ways are contiguous: one base-pointer computation, then the
+  // probe and victim scans walk a cache-line-friendly stretch.
+  Way* const set_ways =
+      ways_.data() + set_index(addr) * config_.associativity;
   for (unsigned w = 0; w < config_.associativity; ++w) {
-    Way& way = ways_[set * config_.associativity + w];
+    Way& way = set_ways[w];
     if (way.valid && way.tag == tag) {
       way.lru = ++lru_clock_;
       way.dirty = way.dirty || is_write;
@@ -49,7 +46,7 @@ bool Cache::access(std::uint64_t addr, bool is_write) {
   // Miss: pick an invalid way if any, else the least recently used.
   Way* victim = nullptr;
   for (unsigned w = 0; w < config_.associativity; ++w) {
-    Way& way = ways_[set * config_.associativity + w];
+    Way& way = set_ways[w];
     if (!way.valid) {
       victim = &way;
       break;

@@ -51,13 +51,23 @@ class Cache {
     std::uint64_t lru = 0;  // larger == more recently used
   };
 
-  [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const;
-  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const;
+  // Line size and set count are powers of two (checked at construction), so
+  // the per-access index/tag math is a shift+mask — no divisions on the hot
+  // path (every warmed instruction and pipeline memory access lands here).
+  [[nodiscard]] std::uint64_t set_index(std::uint64_t addr) const {
+    return (addr >> line_shift_) & set_mask_;
+  }
+  [[nodiscard]] std::uint64_t tag_of(std::uint64_t addr) const {
+    return addr >> tag_shift_;
+  }
 
   CacheConfig config_;
   CacheStats stats_;
-  std::vector<Way> ways_;  // sets_ * associativity entries
+  std::vector<Way> ways_;  // sets_ * associativity entries, set-contiguous
   std::uint64_t sets_ = 0;
+  unsigned line_shift_ = 0;  // log2(line_bytes)
+  unsigned tag_shift_ = 0;   // log2(line_bytes * sets)
+  std::uint64_t set_mask_ = 0;  // sets - 1
   std::uint64_t lru_clock_ = 0;
 };
 

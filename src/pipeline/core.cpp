@@ -15,8 +15,35 @@ using isa::DecodedInst;
 using isa::Opcode;
 using isa::RegClass;
 
+namespace {
+
+/// True when `mem` still holds exactly the static program's code words. A
+/// checkpoint captured after self-modifying stores restores a different
+/// image; the decode cache must not be trusted against it.
+bool code_image_matches(const arch::Program& program,
+                        const arch::SparseMemory& mem) {
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    if (mem.read_u32(program.code_base + 4 * i) != program.code[i])
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Core::Core(const sim::SimConfig& config, const arch::Program& program)
+    : Core(config, program,
+           std::shared_ptr<const arch::DecodedProgram>{}) {}
+
+Core::Core(const sim::SimConfig& config, const arch::Program& program,
+           std::shared_ptr<const arch::DecodedProgram> decoded)
     : config_(config),
+      decoded_(config.fast_path
+                   ? (decoded != nullptr
+                          ? std::move(decoded)
+                          : std::make_shared<const arch::DecodedProgram>(
+                                program))
+                   : nullptr),
       hierarchy_(config.memory),
       gshare_(config.ghr_bits),
       btb_(),
@@ -30,8 +57,10 @@ Core::Core(const sim::SimConfig& config, const arch::Program& program)
               *this) {
   arch::load_program(program, mem_);
   fetch_.set_pc(program.entry);
+  fetch_.set_decoded(decoded_.get());
+  fetch_.set_probes(&probes_);
   if (config.check_oracle)
-    oracle_ = std::make_unique<arch::ArchState>(program);
+    oracle_ = std::make_unique<arch::ArchState>(program, decoded_.get());
   if (config.flush_period != 0) next_flush_at_ = config.flush_period;
 
   // Register the hot pipeline counters (sim/stat_registry.hpp documents the
@@ -62,8 +91,13 @@ Core::Core(const sim::SimConfig& config, const arch::Program& program)
 }
 
 Core::Core(const sim::SimConfig& config, const arch::Program& program,
-           const arch::Checkpoint& checkpoint, const sim::WarmState* warm)
-    : Core(config, program) {
+           const arch::Checkpoint& checkpoint, const sim::WarmState* warm,
+           std::shared_ptr<const arch::DecodedProgram> decoded)
+    : Core(config, program, decoded) {
+  // A caller-supplied cache is a vouch that the checkpoint's code image
+  // matches it (SampledSimulator tracks this per unit as decoded_ok), so
+  // only a core-built cache pays the validation scan below.
+  const bool caller_vouched = decoded != nullptr;
   if (warm != nullptr) {
     gshare_ = warm->gshare;
     btb_ = warm->btb;
@@ -75,6 +109,16 @@ Core::Core(const sim::SimConfig& config, const arch::Program& program,
   // and initialized data materialize their pages at load), so restoring it
   // wholesale reproduces functional memory state exactly.
   arch::restore_memory(checkpoint, mem_);
+  if (decoded_ != nullptr && !caller_vouched &&
+      !code_image_matches(program, mem_)) {
+    // The checkpoint was captured after self-modifying stores (or carries a
+    // different image entirely): the static decode cache is stale for this
+    // resume, so drop to the byte-accurate engine wholesale. The scan is
+    // one u32 compare per static instruction, paid once per cold resume.
+    fetch_.set_decoded(nullptr);
+    if (oracle_) oracle_->detach_decoded();
+    decoded_.reset();
+  }
   fetch_.set_pc(checkpoint.pc);
   halted_ = checkpoint.halted;
   // Seed the committed register values into the architectural versions the
@@ -493,6 +537,12 @@ void Core::phase_commit() {
     }
     if (oracle_) check_oracle(e, mem_entry);
     if (e.inst.is_store()) {
+      if (decoded_ != nullptr && decoded_->covers(popped.addr, popped.size)) {
+        // Committed store into the code image: the pre-decoded records are
+        // stale from here on, so fetch reverts to byte-accurate decode (the
+        // oracle notices the same store itself when it replays it).
+        fetch_.set_decoded(nullptr);
+      }
       mem_.write(popped.addr, popped.data, popped.size);
       const unsigned latency =
           hierarchy_.dstore(popped.addr);  // commit-time D-cache update

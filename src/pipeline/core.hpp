@@ -43,6 +43,13 @@ class Core final : public core::PipelineHooks {
  public:
   Core(const sim::SimConfig& config, const arch::Program& program);
 
+  /// As above, with a pre-built decode-once program cache shared across
+  /// cores (sampled simulation builds one per run instead of one per
+  /// measurement window). Ignored when config.fast_path is off; when
+  /// fast_path is on and `decoded` is null, the core builds its own.
+  Core(const sim::SimConfig& config, const arch::Program& program,
+       std::shared_ptr<const arch::DecodedProgram> decoded);
+
   /// Resumes detailed simulation from an architectural checkpoint (sampled
   /// simulation, saved fast-forwards): memory is restored to the checkpoint
   /// image, fetch starts at its PC, the committed-register state is seeded
@@ -51,9 +58,16 @@ class Core final : public core::PipelineHooks {
   /// predictors start cold; with it, they are copied from a functionally
   /// warmed sim::WarmState (cache stats are reset so the measured window
   /// counts only its own accesses).
+  ///
+  /// Passing a non-null `decoded` vouches that the checkpoint's code image
+  /// matches it. With `decoded` null (and fast_path on) the core builds its
+  /// own cache and validates the restored image against the program first,
+  /// falling back to byte-accurate execution when a self-modified
+  /// checkpoint would make the cache stale.
   Core(const sim::SimConfig& config, const arch::Program& program,
        const arch::Checkpoint& checkpoint,
-       const sim::WarmState* warm = nullptr);
+       const sim::WarmState* warm = nullptr,
+       std::shared_ptr<const arch::DecodedProgram> decoded = nullptr);
   ~Core() override;
 
   /// Advances one cycle.
@@ -151,6 +165,11 @@ class Core final : public core::PipelineHooks {
                                                 std::uint64_t raw) const;
 
   sim::SimConfig config_;
+  // Decode-once program cache (null when config.fast_path is off): fetch
+  // reads micro-op records for in-image PCs, the oracle executes from it.
+  // A committed store into the code image detaches it from fetch (the
+  // oracle detaches itself when it replays the store).
+  std::shared_ptr<const arch::DecodedProgram> decoded_;
   arch::SparseMemory mem_;  // committed memory state
   mem::MemoryHierarchy hierarchy_;
   branch::Gshare gshare_;

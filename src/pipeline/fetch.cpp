@@ -78,6 +78,11 @@ void FetchUnit::tick(std::uint64_t cycle) {
     if (line != current_line_) {
       const unsigned latency = hierarchy_.ifetch(pc_);
       current_line_ = line;
+      if (probes_ != nullptr && !probes_->empty()) {
+        const sim::CacheAccessEvent ev{pc_, /*is_write=*/false, latency,
+                                       cycle, /*is_ifetch=*/true};
+        for (sim::Probe* probe : *probes_) probe->on_cache_access(ev);
+      }
       if (latency > hierarchy_.l1i().config().hit_latency) {
         icache_ready_cycle_ = cycle + latency;
         return;  // miss: deliver nothing this cycle
@@ -86,7 +91,9 @@ void FetchUnit::tick(std::uint64_t cycle) {
 
     FetchedInst fi;
     fi.pc = pc_;
-    fi.inst = isa::decode(memory_.read_u32(pc_));
+    fi.inst = decoded_ != nullptr && decoded_->contains(pc_)
+                  ? decoded_->at(pc_).inst
+                  : isa::decode(memory_.read_u32(pc_));
     if (fi.inst.is_halt()) {
       buffer_.push_back(fi);
       halted_ = true;

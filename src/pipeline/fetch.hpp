@@ -2,17 +2,26 @@
 // taken branch per cycle, paper Table 2: "up to 2 taken branches"),
 // predecoded predictions (gshare + BTB + RAS), I-cache latency modelled per
 // line touched.
+//
+// With a DecodedProgram attached, in-image fetches read the pre-decoded
+// micro-op record instead of re-decoding memory bytes; wrong-path fetches
+// outside the image (and everything after the owning core observes a store
+// into the image) take the byte-accurate path, so fetched instructions are
+// identical either way.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
+#include "arch/decoded_program.hpp"
 #include "arch/memory.hpp"
 #include "branch/btb.hpp"
 #include "branch/gshare.hpp"
 #include "branch/ras.hpp"
 #include "isa/isa.hpp"
 #include "mem/hierarchy.hpp"
+#include "sim/probe.hpp"
 
 namespace erel::pipeline {
 
@@ -40,6 +49,15 @@ class FetchUnit {
 
   void set_pc(std::uint64_t pc) { pc_ = pc; }
 
+  /// Attaches/detaches the decode-once fast path (non-owning; the core
+  /// detaches when a committed store dirties the code image).
+  void set_decoded(const arch::DecodedProgram* decoded) { decoded_ = decoded; }
+
+  /// Probe fan-out list for I-side CacheAccessEvents (non-owning; the core
+  /// shares its own attach-ordered list). Zero-probe runs pay one empty()
+  /// check per line touched.
+  void set_probes(const std::vector<sim::Probe*>* probes) { probes_ = probes; }
+
   /// Squash recovery: drops buffered instructions and restarts at `pc`.
   void redirect(std::uint64_t pc);
 
@@ -65,6 +83,8 @@ class FetchUnit {
   branch::Gshare& gshare_;
   branch::Btb& btb_;
   branch::Ras& ras_;
+  const arch::DecodedProgram* decoded_ = nullptr;
+  const std::vector<sim::Probe*>* probes_ = nullptr;
 
   std::deque<FetchedInst> buffer_;
   std::uint64_t pc_ = 0;

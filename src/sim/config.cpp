@@ -52,7 +52,9 @@ void append_canonical_fields(const SimConfig& config, std::string& out) {
   field(out, "flush_period", config.flush_period);
   // stat_stride is deliberately absent: time-series channels never change
   // simulation results, so the same cached cell serves every stride (and
-  // pre-existing fingerprints stay valid).
+  // pre-existing fingerprints stay valid). fast_path is absent for the same
+  // reason: the decode-once engine is bit-identical to the byte-accurate
+  // one (pinned by tests/test_fastpath.cpp), so one cached cell serves both.
 }
 
 }  // namespace erel::sim

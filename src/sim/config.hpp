@@ -44,6 +44,15 @@ struct SimConfig {
   // Verification.
   bool check_oracle = true;  // lock-step functional co-simulation at commit
 
+  /// Decode-once fast path (arch::DecodedProgram): pre-decode the program
+  /// into micro-op records shared by fetch, the commit oracle and sampled
+  /// planning/warming. Semantics-preserving by construction (stores into
+  /// the code image fall back to byte-accurate decode), so results are
+  /// bit-identical either way and the flag is excluded from the result-cache
+  /// fingerprint. Off only for A/B throughput measurement
+  /// (bench/sim_throughput) and the engine-equivalence tests.
+  bool fast_path = true;
+
   /// Instrumentation (API v2): when > 0, the core records fixed-stride
   /// time-series channels into its StatRegistry — per-stride Empty/Ready/
   /// Idle occupancy per register class and commits per stride — with one

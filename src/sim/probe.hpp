@@ -106,15 +106,17 @@ struct BranchEvent {
   std::uint64_t cycle = 0;
 };
 
-/// One data-side memory access as issued to the cache hierarchy (loads at
-/// issue, stores at commit). `latency` is the hierarchy's answer, so hit
-/// level is recoverable from the configured latencies. I-side traffic is
-/// visible through the cache/l1i registry counters instead.
+/// One memory access as issued to the cache hierarchy. D-side: loads at
+/// issue, stores at commit. I-side (`is_ifetch`): one event per fetch block
+/// line touched, mirroring how FetchUnit charges the I-cache. `latency` is
+/// the hierarchy's answer, so hit level is recoverable from the configured
+/// latencies.
 struct CacheAccessEvent {
   std::uint64_t addr = 0;
   bool is_write = false;
   unsigned latency = 0;
   std::uint64_t cycle = 0;
+  bool is_ifetch = false;
 };
 
 /// A named scalar a probe exports into experiment results (harness

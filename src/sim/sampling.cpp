@@ -38,7 +38,21 @@ struct SamplingUnit {
   std::uint64_t interval = 0;  // plan order, the deterministic merge key
   arch::Checkpoint ckpt;
   std::unique_ptr<const WarmState> warm;  // null when warming is off
+  // False once the planning pass has stored into the code image before this
+  // unit's checkpoint: its window must not execute from the shared decode
+  // cache (the checkpointed code bytes differ from the static program).
+  bool decoded_ok = true;
 };
+
+/// The planning pass's batched warming loop: fast-forwards the oracle to
+/// `target` dynamic instructions, training predictors and caches off the
+/// decoded step records (one MicroKind dispatch per instruction, I-cache
+/// charged per fetch line — see sim/warm_state.hpp).
+void run_warmed(arch::ArchState& master, WarmState& warm,
+                std::uint64_t target) {
+  while (!master.halted() && master.instructions_executed() < target)
+    warm.observe(master.step());
+}
 
 /// Outcome of one detailed window.
 struct UnitResult {
@@ -174,15 +188,25 @@ SampledStats SampledSimulator::run(const arch::Program& program,
   // every unit can be measured independently, in any order, on any thread.
   SampledStats out;
   std::vector<SamplingUnit> units;
+  // One decode of the static program shared by the planning oracle and
+  // every measurement window's core (each window otherwise re-decodes the
+  // whole image). Null when the fast path is configured off.
+  const std::shared_ptr<const arch::DecodedProgram> decoded =
+      config_.fast_path
+          ? std::make_shared<const arch::DecodedProgram>(program)
+          : nullptr;
+  // Pre-size the plan when a cap bounds it (clamped: the cap is
+  // user-supplied and may far exceed what the program can yield).
+  if (sampling_.max_samples != 0)
+    units.reserve(std::min<std::uint64_t>(sampling_.max_samples, 4096));
   {
-    arch::ArchState master(program);
+    arch::ArchState master(program, decoded.get());
     WarmState warm(config_);
     std::uint64_t start = 0;
     for (std::uint64_t k = 0; !master.halted(); ++k) {
       start = unit_start(k, start);
       if (sampling_.functional_warming) {
-        while (!master.halted() && master.instructions_executed() < start)
-          warm.observe(master.step());
+        run_warmed(master, warm, start);
       } else if (master.instructions_executed() < start) {
         master.run(start - master.instructions_executed());
       }
@@ -194,18 +218,18 @@ SampledStats SampledSimulator::run(const arch::Program& program,
         // so the warm state never develops a cold gap relative to the
         // instruction stream.
         if (sampling_.functional_warming) {
-          while (!master.halted()) warm.observe(master.step());
+          run_warmed(master, warm, ~std::uint64_t{0});
         } else {
           master.run();
         }
         break;
       }
-      SamplingUnit unit;
+      SamplingUnit& unit = units.emplace_back();
       unit.interval = k;
       unit.ckpt = arch::capture(master);
+      unit.decoded_ok = !master.code_dirtied();
       if (sampling_.functional_warming)
         unit.warm = std::make_unique<const WarmState>(warm);
-      units.push_back(std::move(unit));
     }
     out.total_instructions = master.instructions_executed();
     out.estimate.committed = out.total_instructions;
@@ -220,7 +244,11 @@ SampledStats SampledSimulator::run(const arch::Program& program,
   const auto run_unit = [&](const SamplingUnit& unit) -> UnitResult {
     SimConfig cfg = config_;
     cfg.max_instructions = window;
-    pipeline::Core core(cfg, program, unit.ckpt, unit.warm.get());
+    // A unit whose checkpoint carries self-modified code must not use (or
+    // rebuild) the static decode cache: force the byte-accurate engine.
+    if (!unit.decoded_ok) cfg.fast_path = false;
+    pipeline::Core core(cfg, program, unit.ckpt, unit.warm.get(),
+                        unit.decoded_ok ? decoded : nullptr);
     const std::vector<std::unique_ptr<Probe>> instances =
         core.attach_probes(probes);
     while (!core.halted() && core.committed() < sampling_.warmup &&
@@ -267,6 +295,7 @@ SampledStats SampledSimulator::run(const arch::Program& program,
 
   std::vector<std::optional<UnitResult>> results(units.size());
   std::vector<SampleRecord> scheduled_samples;  // CI bookkeeping only
+  scheduled_samples.reserve(units.size());
   std::size_t next = 0;
   while (next < order.size()) {
     const std::size_t batch_end =
@@ -297,6 +326,7 @@ SampledStats SampledSimulator::run(const arch::Program& program,
   // merges its whole StatRegistry (counters sum, occupancy integrals sum,
   // channels append), so sharded and serial runs agree on every metric —
   // the SimStats `measured` view is then materialized from the merge.
+  out.samples.reserve(units.size());
   for (std::size_t u = 0; u < units.size(); ++u) {
     if (!results[u]) continue;  // unscheduled (CI target met early)
     const UnitResult& r = *results[u];

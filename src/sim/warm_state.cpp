@@ -4,32 +4,44 @@ namespace erel::sim {
 
 void WarmState::observe(const arch::StepInfo& info) {
   if (info.halted) return;
-  hierarchy.ifetch(info.pc);
-  if (info.is_load) hierarchy.dload(info.mem_addr);
-  if (info.is_store) hierarchy.dstore(info.mem_addr);
+  const std::uint64_t line = info.pc >> ifetch_line_shift;
+  if (line != last_ifetch_line) {
+    hierarchy.ifetch(info.pc);
+    last_ifetch_line = line;
+  }
 
-  const isa::DecodedInst& inst = info.inst;
-  const std::uint64_t fallthrough = info.pc + 4;
-  if (inst.is_cond_branch()) {
-    const bool taken = info.next_pc != fallthrough;
-    std::uint32_t checkpoint = 0;
-    const bool predicted = gshare.predict(info.pc, &checkpoint);
-    const bool mispredicted = predicted != taken;
-    gshare.resolve(info.pc, checkpoint, taken, mispredicted);
-    if (mispredicted) gshare.repair(checkpoint, taken);
-    return;
-  }
-  // RAS/BTB conventions mirror FetchUnit::predict: rd==1 links (call),
-  // rd==0 && rs1==1 is a return.
-  if (inst.is_direct_jump()) {
-    if (inst.rd == 1) ras.push(fallthrough);
-    return;
-  }
-  if (inst.is_indirect_jump()) {
-    const bool is_return = inst.rd == 0 && inst.rs1 == 1;
-    if (is_return) ras.pop();
-    btb.update(info.pc, info.next_pc);
-    if (inst.rd == 1) ras.push(fallthrough);
+  switch (info.kind) {
+    case arch::MicroKind::kLoad:
+      hierarchy.dload(info.mem_addr);
+      return;
+    case arch::MicroKind::kStore:
+      hierarchy.dstore(info.mem_addr);
+      return;
+    case arch::MicroKind::kCondBranch: {
+      const bool taken = info.next_pc != info.pc + 4;
+      std::uint32_t checkpoint = 0;
+      const bool predicted = gshare.predict(info.pc, &checkpoint);
+      const bool mispredicted = predicted != taken;
+      gshare.resolve(info.pc, checkpoint, taken, mispredicted);
+      if (mispredicted) gshare.repair(checkpoint, taken);
+      return;
+    }
+    // RAS/BTB conventions mirror FetchUnit::predict: rd==1 links (call),
+    // rd==0 && rs1==1 is a return.
+    case arch::MicroKind::kDirectJump:
+      if (info.inst.rd == 1) ras.push(info.pc + 4);
+      return;
+    case arch::MicroKind::kIndirectJump: {
+      const bool is_return = info.inst.rd == 0 && info.inst.rs1 == 1;
+      if (is_return) ras.pop();
+      btb.update(info.pc, info.next_pc);
+      if (info.inst.rd == 1) ras.push(info.pc + 4);
+      return;
+    }
+    case arch::MicroKind::kAlu:
+    case arch::MicroKind::kHalt:
+    case arch::MicroKind::kIllegal:
+      return;
   }
 }
 

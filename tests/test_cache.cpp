@@ -108,6 +108,23 @@ TEST(Hierarchy, IfetchSecondLineHitsL2) {
   EXPECT_EQ(h.ifetch(0x10020), 13u);   // L1I miss (32B lines), L2 hit
 }
 
+TEST(Cache, NonPowerOfTwoAssociativityIndexesCorrectly) {
+  // The shift/mask index math only assumes pow2 line size and set count;
+  // 3-way geometry (sets = 4) must still hit/miss per set correctly.
+  Cache c({"odd", 3u * 4u * 64u, 3, 64, 1});
+  // Four lines mapping to the same set (stride = sets * line = 256).
+  EXPECT_FALSE(c.access(0x0000, false));
+  EXPECT_FALSE(c.access(0x0100, false));
+  EXPECT_FALSE(c.access(0x0200, false));
+  EXPECT_TRUE(c.access(0x0000, false));   // all three ways resident
+  EXPECT_TRUE(c.access(0x0100, false));
+  EXPECT_TRUE(c.access(0x0200, false));
+  EXPECT_FALSE(c.access(0x0300, false));  // fourth line evicts LRU (0x0000)
+  EXPECT_FALSE(c.access(0x0000, false));
+  EXPECT_FALSE(c.access(0x0040, false));  // different set: its own miss
+  EXPECT_TRUE(c.access(0x0040, false));
+}
+
 TEST(Hierarchy, StoresUpdateDirtyState) {
   MemoryHierarchy h{HierarchyConfig{}};
   h.dstore(0x8000);

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "arch/memory.hpp"
+#include "common/bits.hpp"
 
 namespace erel::arch {
 namespace {
@@ -63,6 +64,79 @@ TEST(SparseMemoryDeath, UnalignedAccessAborts) {
   SparseMemory mem;
   EXPECT_DEATH((void)mem.read(0x101, 8), "unaligned");
   EXPECT_DEATH(mem.write(0x102, 0, 4), "unaligned");
+}
+
+// --- page-pointer cache (software TLB) -----------------------------------
+
+TEST(SparseMemoryTlb, ConflictingSlotsStayCoherent) {
+  // Pages whose indexes differ by the TLB slot count map to the same
+  // direct-mapped slot; ping-ponging between them must always read the
+  // right page.
+  SparseMemory mem;
+  const std::uint64_t a = 0;
+  const std::uint64_t b = 64 * SparseMemory::kPageBytes;   // same slot as a
+  const std::uint64_t c = 128 * SparseMemory::kPageBytes;  // same slot again
+  mem.write(a, 0xAAAAAAAAull, 4);
+  mem.write(b, 0xBBBBBBBBull, 4);
+  mem.write(c, 0xCCCCCCCCull, 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(mem.read(a, 4), 0xAAAAAAAAull);
+    EXPECT_EQ(mem.read(b, 4), 0xBBBBBBBBull);
+    EXPECT_EQ(mem.read(c, 4), 0xCCCCCCCCull);
+  }
+}
+
+TEST(SparseMemoryTlb, AbsentPageReadIsNotCachedStale) {
+  // A read of an untouched page returns 0 and must not cache "absent":
+  // when a later write materializes the page, reads must see it.
+  SparseMemory mem;
+  EXPECT_EQ(mem.read(0x4000, 8), 0u);
+  EXPECT_EQ(mem.resident_pages(), 0u);
+  mem.write(0x4000, 0x1234, 8);
+  EXPECT_EQ(mem.read(0x4000, 8), 0x1234u);
+}
+
+TEST(SparseMemoryTlb, ClearInvalidatesCachedPointers) {
+  SparseMemory mem;
+  mem.write(0x1000, 0xFF, 1);
+  EXPECT_EQ(mem.read_u8(0x1000), 0xFFu);  // TLB now holds the page
+  mem.clear();
+  EXPECT_EQ(mem.resident_pages(), 0u);
+  EXPECT_EQ(mem.read_u8(0x1000), 0u);  // must not read through a stale slot
+  mem.write(0x1000, 0x42, 1);
+  EXPECT_EQ(mem.read_u8(0x1000), 0x42u);
+}
+
+TEST(SparseMemoryTlb, DisabledTlbIsEquivalent) {
+  SparseMemory fast;
+  SparseMemory slow;
+  slow.set_tlb_enabled(false);
+  Xorshift rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t addr = (rng.next() % (1u << 20)) & ~std::uint64_t{7};
+    if (rng.chance(0.5)) {
+      const std::uint64_t v = rng.next();
+      fast.write(addr, v, 8);
+      slow.write(addr, v, 8);
+    } else {
+      EXPECT_EQ(fast.read(addr, 8), slow.read(addr, 8)) << addr;
+    }
+  }
+  EXPECT_EQ(fast.resident_pages(), slow.resident_pages());
+}
+
+TEST(SparseMemoryTlb, SnapshotMatchesPageBases) {
+  SparseMemory mem;
+  mem.write(5 * SparseMemory::kPageBytes, 1, 1);
+  mem.write(1 * SparseMemory::kPageBytes, 2, 1);
+  mem.write(9 * SparseMemory::kPageBytes, 3, 1);
+  const auto snapshot = mem.pages_snapshot();
+  const auto bases = mem.page_bases();
+  ASSERT_EQ(snapshot.size(), bases.size());
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    EXPECT_EQ(snapshot[i].first, bases[i]);
+    EXPECT_EQ(snapshot[i].second, mem.page_data(bases[i]));
+  }
 }
 
 }  // namespace
