@@ -55,6 +55,7 @@ struct Options {
   std::string csv_path;             // --csv=PATH      ResultSet CSV sink
   std::string json_path;            // --json=PATH     ResultSet JSON sink
   std::string cache_dir;            // --cache-dir=PATH  result cache
+  std::string server;               // --server=HOST:PORT  ereld daemon
   bool smoke = false;               // --smoke         tiny CI grid
   bool power = false;               // --power         RixnerProbe columns
   std::string timeseries_path;      // --timeseries=PATH  per-stride CSV
@@ -89,7 +90,7 @@ struct Options {
   }
 
   [[nodiscard]] harness::RunOptions run_options() const {
-    return {threads, cache_dir};
+    return {threads, cache_dir, server};
   }
 
   // Workload subsets honoring positional selection and --smoke. Trace
@@ -137,6 +138,8 @@ inline void usage(const char* argv0) {
       "  --csv=PATH         write the ResultSet as CSV\n"
       "  --json=PATH        write the ResultSet as JSON\n"
       "  --cache-dir=PATH   reuse/store per-cell results on disk\n"
+      "  --server=HOST:PORT route cells through an experiment daemon "
+      "(ereld)\n"
       "  --smoke            tiny grid (CI: execute, don't just compile)\n"
       "  --list-workloads   print the workload registry and exit\n"
       "  --list-policies    print the release policies and exit\n",
@@ -219,6 +222,8 @@ inline Options parse(int argc, char** argv) {
       opts.json_path = value("--json");
     } else if (matches("--cache-dir")) {
       opts.cache_dir = value("--cache-dir");
+    } else if (matches("--server")) {
+      opts.server = value("--server");
     } else if (matches("--policies")) {
       opts.policies.clear();
       std::string list = value("--policies");
@@ -280,9 +285,17 @@ inline void finish(const harness::ResultSet& rs, const Options& opts) {
     std::printf("wrote JSON %s (%zu cells)\n", opts.json_path.c_str(),
                 rs.size());
   }
-  if (!opts.cache_dir.empty()) {
-    std::printf("cache: %zu hits, %zu simulated (dir %s)\n", rs.cache_hits(),
-                rs.simulated(), opts.cache_dir.c_str());
+  if (!opts.cache_dir.empty() || !opts.server.empty()) {
+    // "hits" counts cells served without fresh simulation anywhere: local
+    // cache files and warm daemon-cache replies both arrive from_cache.
+    const std::string where =
+        !opts.server.empty()
+            ? (!opts.cache_dir.empty()
+                   ? "server " + opts.server + ", dir " + opts.cache_dir
+                   : "server " + opts.server)
+            : "dir " + opts.cache_dir;
+    std::printf("cache: %zu hits, %zu simulated (%s)\n", rs.cache_hits(),
+                rs.simulated(), where.c_str());
   }
 }
 

@@ -1,13 +1,13 @@
 #include "harness/experiment.hpp"
 
+#include <algorithm>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
-#include <unistd.h>
 #include <utility>
 
 #include "common/log.hpp"
 #include "harness/fingerprint.hpp"
+#include "harness/remote.hpp"
+#include "harness/result_cache.hpp"
 
 namespace erel::harness {
 
@@ -116,52 +116,10 @@ std::vector<Experiment::Cell> Experiment::materialize() const {
   return cells;
 }
 
-namespace {
-
-std::optional<ExpEntry> load_cache_file(const std::string& path,
-                                        std::string_view fp_hex,
-                                        const ExpKey& key) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  std::optional<ExpEntry> entry = parse_entry(buffer.str(), fp_hex, key);
-  if (!entry)
-    EREL_WARN("ignoring cache entry ", path,
-              " (malformed, stale, or from a different cell; treated as a "
-              "miss for ", key.to_string(), ")");
-  return entry;
-}
-
-void save_cache_file(const std::string& path, const std::string& content) {
-  // Atomic publish: concurrent sweeps may race on the same fingerprint, but
-  // rename() ensures readers only ever see complete entries (and identical
-  // fingerprints imply identical contents, so last-writer-wins is fine).
-  const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      EREL_WARN("cannot write cache entry ", tmp);
-      return;
-    }
-    out << content;
-    out.flush();
-    if (!out) {
-      EREL_WARN("short write to cache entry ", tmp);
-      return;
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) EREL_WARN("cannot publish cache entry ", path, ": ", ec.message());
-}
-
-}  // namespace
-
 ResultSet Experiment::run(const RunOptions& opts) const {
   const std::vector<Cell> cells = materialize();
   const bool use_cache = !opts.cache_dir.empty();
+  const bool use_server = !opts.server.empty();
   if (use_cache) {
     std::error_code ec;
     std::filesystem::create_directories(opts.cache_dir, ec);
@@ -179,15 +137,66 @@ ResultSet Experiment::run(const RunOptions& opts) const {
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& cell = cells[i];
-    if (use_cache && fingerprintable(cell.spec.workload, cell.spec.config)) {
+    if ((use_cache || use_server) &&
+        fingerprintable(cell.spec.workload, cell.spec.config)) {
       fp_hex[i] = fingerprint_cell(cell.spec.workload, cell.spec.config,
                                    cell.spec.sampling, probe_names)
                       .hex();
-      cache_path[i] = opts.cache_dir + "/" + fp_hex[i] + ".erelres";
-      ready[i] = load_cache_file(cache_path[i], fp_hex[i], cell.key);
-      if (ready[i]) continue;
+      if (use_cache) {
+        cache_path[i] = cache_entry_path(opts.cache_dir, fp_hex[i]);
+        ready[i] = load_cache_entry(cache_path[i], fp_hex[i], cell.key);
+        if (ready[i]) continue;
+      }
     }
     pending.push_back(i);
+  }
+
+  // Server routing: ship every fingerprintable miss to the daemon and fold
+  // its replies into `ready`; anything the daemon cannot serve — including
+  // all of them, when it is unreachable — falls through to the local pool.
+  if (use_server && !pending.empty()) {
+    RemoteBackend remote(opts.server);
+    if (!remote.connect()) {
+      EREL_WARN("experiment server ", opts.server, " unreachable (",
+                remote.error(), "); simulating ", pending.size(),
+                " cell(s) locally");
+    } else {
+      std::vector<std::size_t> local;
+      std::vector<std::size_t> dispatched;
+      bool connection_ok = true;
+      for (const std::size_t i : pending) {
+        if (fp_hex[i].empty() || !connection_ok) {
+          local.push_back(i);
+          continue;
+        }
+        if (remote.dispatch(i, cells[i].key, cells[i].spec, fp_hex[i])) {
+          dispatched.push_back(i);
+        } else {
+          EREL_WARN("experiment server ", opts.server, " lost (",
+                    remote.error(), "); simulating the rest locally");
+          connection_ok = false;
+          local.push_back(i);
+        }
+      }
+      for (const std::size_t i : dispatched) {
+        std::string raw_text;
+        std::string why;
+        std::optional<ExpEntry> entry =
+            remote.await(i, cells[i].key, fp_hex[i], &raw_text, &why);
+        if (!entry) {
+          EREL_WARN("cell ", cells[i].key.to_string(),
+                    " not served by ", opts.server, " (", why,
+                    "); simulating locally");
+          local.push_back(i);
+          continue;
+        }
+        if (!cache_path[i].empty())
+          save_cache_entry(cache_path[i], raw_text);
+        ready[i] = std::move(entry);
+      }
+      pending = std::move(local);
+      std::sort(pending.begin(), pending.end());
+    }
   }
 
   if (!pending.empty()) {
@@ -200,7 +209,7 @@ ResultSet Experiment::run(const RunOptions& opts) const {
       ExpEntry entry{cells[i].key, results[j].stats, results[j].sampled,
                      results[j].metrics, /*from_cache=*/false};
       if (!cache_path[i].empty())
-        save_cache_file(cache_path[i], serialize_entry(entry, fp_hex[i]));
+        save_cache_entry(cache_path[i], serialize_entry(entry, fp_hex[i]));
       ready[i] = std::move(entry);
     }
   }

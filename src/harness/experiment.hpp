@@ -51,6 +51,14 @@ struct RunOptions {
 
   /// Result-cache directory; "" disables caching. Created on demand.
   std::string cache_dir;
+
+  /// "host:port" of an experiment daemon (ereld, src/service/). When set,
+  /// fingerprintable cells that miss the local cache are shipped to the
+  /// daemon instead of the local pool; returned entries are bit-identical
+  /// to local simulation (validated with the cache parser) and are written
+  /// into cache_dir verbatim. An unreachable daemon or a refused cell
+  /// degrades to local simulation with a warning, never an abort.
+  std::string server;
 };
 
 class Experiment {

@@ -8,51 +8,55 @@
 
 namespace erel::harness {
 
+RunResult run_one(const RunSpec& spec, const RunHooks& hooks) {
+  const arch::Program program = workloads::assemble_workload(spec.workload);
+  // Metric export is a pure function of (config, registry), so a fresh
+  // never-attached instance serves both the full and the sampled path.
+  // Metrics with unserializable names are dropped here with a warning
+  // rather than aborting a finished sweep at cache-save time.
+  const auto collect_metrics = [&spec](const sim::StatRegistry& registry) {
+    std::vector<sim::Metric> metrics;
+    for (const sim::ProbeSpec& p : spec.probes) {
+      const std::unique_ptr<sim::Probe> probe = p.make();
+      EREL_CHECK(probe != nullptr, "probe factory '", p.name,
+                 "' returned null");
+      probe->export_metrics(spec.config, registry, metrics);
+    }
+    std::erase_if(metrics, [&spec](const sim::Metric& m) {
+      const bool bad =
+          m.name.empty() || m.name.find_first_of(" \n") != std::string::npos;
+      if (bad)
+        EREL_WARN("dropping metric with unserializable name '", m.name,
+                  "' from a probe of spec ", spec.tag);
+      return bad;
+    });
+    return metrics;
+  };
+  if (spec.sampling) {
+    sim::SampledSimulator sampler(spec.config, *spec.sampling);
+    sim::SampledStats sampled = sampler.run(program, spec.probes);
+    std::vector<sim::Metric> metrics = collect_metrics(sampled.registry);
+    return RunResult{spec, sampled.estimate, std::move(sampled),
+                     std::move(metrics)};
+  }
+  sim::Simulator simulator(spec.config);
+  std::unique_ptr<pipeline::Core> core = simulator.make_core(program);
+  const std::vector<std::unique_ptr<sim::Probe>> instances =
+      core->attach_probes(spec.probes);
+  for (sim::Probe* probe : hooks.extra_probes) core->attach_probe(probe);
+  if (hooks.live_registry) hooks.live_registry(&core->registry());
+  const sim::SimStats stats = core->run();
+  if (hooks.live_registry) hooks.live_registry(nullptr);
+  return RunResult{spec, stats, std::nullopt,
+                   collect_metrics(core->registry())};
+}
+
 std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,
                                unsigned threads) {
   std::vector<RunResult> results(specs.size());
   ThreadPool pool(threads);
-  parallel_for(pool, specs.size(), [&](std::size_t i) {
-    const RunSpec& spec = specs[i];
-    const arch::Program program = workloads::assemble_workload(spec.workload);
-    // Metric export is a pure function of (config, registry), so a fresh
-    // never-attached instance serves both the full and the sampled path.
-    // Metrics with unserializable names are dropped here with a warning
-    // rather than aborting a finished sweep at cache-save time.
-    const auto collect_metrics = [&spec](const sim::StatRegistry& registry) {
-      std::vector<sim::Metric> metrics;
-      for (const sim::ProbeSpec& p : spec.probes) {
-        const std::unique_ptr<sim::Probe> probe = p.make();
-        EREL_CHECK(probe != nullptr, "probe factory '", p.name,
-                   "' returned null");
-        probe->export_metrics(spec.config, registry, metrics);
-      }
-      std::erase_if(metrics, [&spec](const sim::Metric& m) {
-        const bool bad =
-            m.name.empty() || m.name.find_first_of(" \n") != std::string::npos;
-        if (bad)
-          EREL_WARN("dropping metric with unserializable name '", m.name,
-                    "' from a probe of spec ", spec.tag);
-        return bad;
-      });
-      return metrics;
-    };
-    if (spec.sampling) {
-      sim::SampledSimulator sampler(spec.config, *spec.sampling);
-      sim::SampledStats sampled = sampler.run(program, spec.probes);
-      std::vector<sim::Metric> metrics = collect_metrics(sampled.registry);
-      results[i] = RunResult{spec, sampled.estimate, std::move(sampled),
-                             std::move(metrics)};
-    } else {
-      sim::Simulator simulator(spec.config);
-      std::unique_ptr<pipeline::Core> core = simulator.make_core(program);
-      const std::vector<std::unique_ptr<sim::Probe>> instances =
-          core->attach_probes(spec.probes);
-      const sim::SimStats stats = core->run();
-      results[i] = RunResult{spec, stats, std::nullopt,
-                             collect_metrics(core->registry())};
-    }
-  });
+  parallel_for(pool, specs.size(),
+               [&](std::size_t i) { results[i] = run_one(specs[i]); });
   return results;
 }
 

@@ -53,6 +53,29 @@ struct RunResult {
   std::vector<sim::Metric> metrics;
 };
 
+/// Observation hooks for a single run, used by the experiment daemon to
+/// watch a simulation in progress (src/service/). Both are no-ops by
+/// default and never change simulation results.
+struct RunHooks {
+  /// Extra observers attached after the spec's own probes (caller keeps
+  /// ownership). Full-detail runs only: sampled runs build fresh per-window
+  /// probe instances from ProbeSpec factories, so raw pointers cannot ride
+  /// along — pass a ProbeSpec in the spec instead.
+  std::vector<sim::Probe*> extra_probes;
+
+  /// Called with the core's live registry right before the run starts, and
+  /// with nullptr right after it completes — *before* the core is torn
+  /// down, so the callback is the exact window in which the pointer may be
+  /// retained (e.g. for StatRegistry::snapshot() readers on other threads).
+  /// Full-detail runs only (a sampled run has no single live registry); for
+  /// sampled specs the callback never fires.
+  std::function<void(sim::StatRegistry*)> live_registry;
+};
+
+/// Runs one spec on the calling thread: the unit of work shared by run_all
+/// workers and the experiment daemon's pool.
+RunResult run_one(const RunSpec& spec, const RunHooks& hooks = {});
+
 /// Runs every spec (each on its own worker thread; simulations share no
 /// state). Results keep the input order. `threads` 0 = hardware default.
 std::vector<RunResult> run_all(const std::vector<RunSpec>& specs,

@@ -1,0 +1,61 @@
+#include "harness/remote.hpp"
+
+#include <utility>
+
+#include "service/client.hpp"
+
+namespace erel::harness {
+
+RemoteBackend::RemoteBackend(std::string endpoint)
+    : endpoint_(std::move(endpoint)),
+      client_(std::make_unique<service::RemoteClient>()) {}
+
+RemoteBackend::~RemoteBackend() = default;
+
+bool RemoteBackend::connect() {
+  if (client_->connect(endpoint_)) return true;
+  error_ = client_->error();
+  return false;
+}
+
+bool RemoteBackend::dispatch(std::uint64_t id, const ExpKey& key,
+                             const RunSpec& spec, const std::string& fp_hex) {
+  service::CellRequest request;
+  request.id = id;
+  request.key = key;
+  request.workload = spec.workload;
+  request.fingerprint_hex = fp_hex;
+  request.config = spec.config;
+  request.sampling = spec.sampling;
+  for (const sim::ProbeSpec& probe : spec.probes)
+    request.probe_names.push_back(probe.name);
+  request.stat_stride = spec.config.stat_stride;
+  if (client_->send_cell(request)) return true;
+  error_ = client_->error();
+  return false;
+}
+
+std::optional<ExpEntry> RemoteBackend::await(std::uint64_t id,
+                                             const ExpKey& key,
+                                             const std::string& fp_hex,
+                                             std::string* raw_text,
+                                             std::string* why) {
+  const std::optional<service::ResultMsg> msg = client_->await(id, why);
+  if (!msg) {
+    error_ = client_->error();
+    return std::nullopt;
+  }
+  // The daemon validated its own side; validate ours with the cache parser
+  // (same fingerprint + key discipline as a local .erelres file).
+  std::optional<ExpEntry> entry = parse_entry(msg->entry_text, fp_hex, key);
+  if (!entry) {
+    if (why != nullptr)
+      *why = "daemon result failed local validation (diverged builds?)";
+    return std::nullopt;
+  }
+  entry->from_cache = msg->cached;
+  if (raw_text != nullptr) *raw_text = msg->entry_text;
+  return entry;
+}
+
+}  // namespace erel::harness

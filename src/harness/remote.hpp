@@ -1,0 +1,66 @@
+// harness::RemoteBackend — routes experiment cells through an
+// ExperimentDaemon (src/service/) instead of the local thread pool.
+//
+// The backend is deliberately dumb: Experiment::run still owns cell
+// materialization, fingerprinting, the local cache check and the fallback
+// policy; RemoteBackend only translates (key, spec, fingerprint) into wire
+// requests and wire responses back into validated ExpEntry values. Every
+// failure — unreachable daemon, refused cell, malformed reply — is a
+// nullopt/false with the reason in error()/the `why` out-param, never an
+// abort: a dead daemon must degrade a sweep to local simulation, not kill
+// it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "harness/harness.hpp"
+#include "harness/results.hpp"
+
+namespace erel::service {
+class RemoteClient;
+}
+
+namespace erel::harness {
+
+class RemoteBackend {
+ public:
+  /// `endpoint` is "host:port". Does not connect yet.
+  explicit RemoteBackend(std::string endpoint);
+  ~RemoteBackend();
+
+  RemoteBackend(const RemoteBackend&) = delete;
+  RemoteBackend& operator=(const RemoteBackend&) = delete;
+
+  /// Connects and validates the protocol greeting. False (with error())
+  /// when the daemon is unreachable or speaks a different version.
+  [[nodiscard]] bool connect();
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Ships one cell; `id` is the caller's correlation index (echoed by the
+  /// daemon). The spec must be fingerprintable — the caller already
+  /// computed `fp_hex` from it. False on connection loss.
+  [[nodiscard]] bool dispatch(std::uint64_t id, const ExpKey& key,
+                              const RunSpec& spec, const std::string& fp_hex);
+
+  /// Blocks for the response to `id`. The returned entry is re-validated
+  /// against (fp_hex, key) with the same parser the disk cache uses;
+  /// `raw_text` (optional) receives the daemon's verbatim `.erelres` text
+  /// so the caller can populate its local cache byte-identically. nullopt
+  /// (reason in `why`) means: fall back to local simulation for this cell.
+  [[nodiscard]] std::optional<ExpEntry> await(std::uint64_t id,
+                                              const ExpKey& key,
+                                              const std::string& fp_hex,
+                                              std::string* raw_text,
+                                              std::string* why);
+
+ private:
+  std::string endpoint_;
+  std::string error_;
+  std::unique_ptr<service::RemoteClient> client_;
+};
+
+}  // namespace erel::harness

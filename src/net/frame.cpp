@@ -1,0 +1,63 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace erel::net {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t get_u32(const char* p) {
+  const auto b = [p](int i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]));
+  };
+  return b(0) | (b(1) << 8) | (b(2) << 16) | (b(3) << 24);
+}
+
+}  // namespace
+
+std::string encode_frame(const Frame& frame) {
+  EREL_CHECK(frame.payload.size() <= kMaxFramePayload,
+             "frame payload of ", frame.payload.size(),
+             " bytes exceeds the ", kMaxFramePayload, "-byte ceiling");
+  std::string out;
+  out.reserve(kFrameHeaderSize + frame.payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(static_cast<char>(frame.type));
+  put_u32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out += frame.payload;
+  return out;
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (!poisoned_) buffer_.append(bytes.data(), bytes.size());
+}
+
+FrameDecoder::Status FrameDecoder::next(Frame& out) {
+  if (poisoned_) return Status::kError;
+  if (buffer_.size() < kFrameHeaderSize) return Status::kNeedMore;
+  if (get_u32(buffer_.data()) != kFrameMagic) {
+    poisoned_ = true;
+    return Status::kError;
+  }
+  const std::size_t length = get_u32(buffer_.data() + 5);
+  if (length > kMaxFramePayload) {
+    poisoned_ = true;
+    return Status::kError;
+  }
+  if (buffer_.size() < kFrameHeaderSize + length) return Status::kNeedMore;
+  out.type = static_cast<std::uint8_t>(buffer_[4]);
+  out.payload.assign(buffer_, kFrameHeaderSize, length);
+  buffer_.erase(0, kFrameHeaderSize + length);
+  return Status::kFrame;
+}
+
+}  // namespace erel::net

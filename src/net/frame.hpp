@@ -1,0 +1,76 @@
+// Length-prefixed message framing for the experiment service (src/service/).
+//
+// A frame is a fixed 9-byte little-endian header followed by an opaque
+// payload:
+//
+//   offset  size  field
+//   0       4     magic   0x4C455245 ("EREL" in memory order)
+//   4       1     type    message tag (opaque to this layer; see
+//                         service/protocol.hpp for the assigned values)
+//   5       4     length  payload bytes, <= kMaxFramePayload
+//   9       len   payload
+//
+// The framing layer knows nothing about message semantics: it turns a byte
+// stream into (type, payload) records and back. Garbage input — a wrong
+// magic, an oversized length — is a hard decode error (the connection is
+// beyond resynchronization and must be dropped); a clean EOF in the middle
+// of a frame is "truncated". Both are distinguishable from "need more
+// bytes", so a poll()-driven server can accumulate partial reads without
+// ambiguity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace erel::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4C455245u;  // "EREL"
+inline constexpr std::size_t kFrameHeaderSize = 9;
+
+/// Payload ceiling (64 MiB): far above any sweep-cell request or result
+/// entry, low enough that a corrupt length field cannot make a reader
+/// attempt a multi-GB allocation.
+inline constexpr std::size_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  std::uint8_t type = 0;
+  std::string payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// Header + payload as wire bytes. Aborts if the payload exceeds
+/// kMaxFramePayload (a frame that could never be decoded is a programming
+/// error, not an IO condition).
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+/// Incremental frame extractor: feed() raw bytes as they arrive, then pull
+/// complete frames with next(). Once corrupt input is seen the decoder is
+/// poisoned — next() keeps returning kError and the owner should drop the
+/// connection.
+class FrameDecoder {
+ public:
+  enum class Status {
+    kFrame,  // a complete frame was produced
+    kNeedMore,  // no complete frame buffered yet
+    kError,  // corrupt input (bad magic / oversized length); unrecoverable
+  };
+
+  void feed(std::string_view bytes);
+
+  /// Extracts the next complete frame into `out` (only on kFrame).
+  [[nodiscard]] Status next(Frame& out);
+
+  /// True when a partial frame is buffered — EOF here means the peer died
+  /// mid-frame (truncation), as opposed to a clean between-frames close.
+  [[nodiscard]] bool mid_frame() const { return !buffer_.empty(); }
+
+  [[nodiscard]] bool poisoned() const { return poisoned_; }
+
+ private:
+  std::string buffer_;
+  bool poisoned_ = false;
+};
+
+}  // namespace erel::net

@@ -1,0 +1,205 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace erel::net {
+
+Socket::~Socket() { close_fd(); }
+
+Socket::Socket(Socket&& other) noexcept
+    : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::send_all(std::string_view bytes) {
+  const char* p = bytes.data();
+  std::size_t remaining = bytes.size();
+  while (remaining > 0) {
+    const ssize_t n = ::send(fd_, p, remaining, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::optional<Frame> Socket::recv_frame(bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  Frame frame;
+  for (;;) {
+    switch (decoder_.next(frame)) {
+      case FrameDecoder::Status::kFrame:
+        return frame;
+      case FrameDecoder::Status::kError:
+        return std::nullopt;
+      case FrameDecoder::Status::kNeedMore:
+        break;
+    }
+    char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (n == 0) {  // EOF
+      if (clean_eof != nullptr) *clean_eof = !decoder_.mid_frame();
+      return std::nullopt;
+    }
+    decoder_.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
+  }
+}
+
+bool Socket::send_frame(const Frame& frame) {
+  return send_all(encode_frame(frame));
+}
+
+std::optional<std::pair<std::string, std::uint16_t>> parse_endpoint(
+    std::string_view spec) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= spec.size())
+    return std::nullopt;
+  const std::string port_text(spec.substr(colon + 1));
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(port_text.c_str(), &end, 10);
+  if (end != port_text.c_str() + port_text.size() || port == 0 ||
+      port > 65535)
+    return std::nullopt;
+  return std::make_pair(std::string(spec.substr(0, colon)),
+                        static_cast<std::uint16_t>(port));
+}
+
+namespace {
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+Socket connect_to(const std::string& host, std::uint16_t port,
+                  std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+      rc != 0) {
+    if (error != nullptr) *error = ::gai_strerror(rc);
+    return Socket{};
+  }
+  int fd = -1;
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_error = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    if (error != nullptr) *error = last_error;
+    return Socket{};
+  }
+  set_nodelay(fd);
+  return Socket{fd};
+}
+
+Listener::Listener(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  if (const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                   service.c_str(), &hints, &res);
+      rc != 0) {
+    error_ = ::gai_strerror(rc);
+    return;
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      error_ = std::strerror(errno);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, 64) == 0)
+      break;
+    error_ = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) return;
+
+  sockaddr_storage addr{};
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) == 0) {
+    if (addr.ss_family == AF_INET)
+      port_ = ntohs(reinterpret_cast<sockaddr_in*>(&addr)->sin_port);
+    else if (addr.ss_family == AF_INET6)
+      port_ = ntohs(reinterpret_cast<sockaddr_in6*>(&addr)->sin6_port);
+  }
+  error_.clear();
+  socket_ = Socket{fd};
+}
+
+Socket Listener::accept_client() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Socket{fd};
+    }
+    if (errno != EINTR) return Socket{};
+  }
+}
+
+}  // namespace erel::net

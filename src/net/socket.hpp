@@ -1,0 +1,83 @@
+// Thin RAII layer over POSIX TCP sockets: a move-only fd owner, blocking
+// client connect, and a listener bound to localhost by default. Everything
+// the framed protocol needs and nothing more — event-loop plumbing lives in
+// net/server.hpp, message semantics in src/service/.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/frame.hpp"
+
+namespace erel::net {
+
+/// Owns one file descriptor; closes it on destruction. Move-only.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+  /// Releases ownership without closing.
+  int release();
+  void close_fd();
+
+  // ---- blocking, whole-message IO (client side) ----
+
+  /// Writes all of `bytes`; false on any error (the socket is then dead).
+  bool send_all(std::string_view bytes);
+
+  /// Reads exactly one frame. nullopt on EOF, truncation, or corrupt
+  /// framing. A clean EOF *between* frames sets `*clean_eof` when provided
+  /// (a server shutting down vs. a torn connection).
+  std::optional<Frame> recv_frame(bool* clean_eof = nullptr);
+
+  /// send_all(encode_frame(frame)).
+  bool send_frame(const Frame& frame);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+/// "host:port" -> (host, port); nullopt on a malformed spec.
+std::optional<std::pair<std::string, std::uint16_t>> parse_endpoint(
+    std::string_view spec);
+
+/// Blocking TCP connect. Returns an invalid Socket on failure (resolver or
+/// connect error), with the reason in `*error` when provided.
+Socket connect_to(const std::string& host, std::uint16_t port,
+                  std::string* error = nullptr);
+
+/// A listening TCP socket. Binds on construction; `valid()` is false (and
+/// `error()` set) when bind/listen failed.
+class Listener {
+ public:
+  /// `port` 0 picks an ephemeral port (read it back with port()).
+  explicit Listener(const std::string& host = "127.0.0.1",
+                    std::uint16_t port = 0);
+
+  [[nodiscard]] bool valid() const { return socket_.valid(); }
+  [[nodiscard]] int fd() const { return socket_.fd(); }
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// Blocking accept; invalid Socket on failure.
+  Socket accept_client();
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+  std::string error_;
+};
+
+}  // namespace erel::net

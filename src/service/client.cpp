@@ -1,0 +1,160 @@
+#include "service/client.hpp"
+
+#include <utility>
+
+namespace erel::service {
+
+bool RemoteClient::connect(const std::string& endpoint) {
+  const auto parsed = net::parse_endpoint(endpoint);
+  if (!parsed) {
+    error_ = "malformed endpoint '" + endpoint + "' (want host:port)";
+    return false;
+  }
+  socket_ = net::connect_to(parsed->first, parsed->second, &error_);
+  if (!socket_.valid()) return false;
+
+  const std::optional<net::Frame> hello = socket_.recv_frame();
+  if (!hello || static_cast<MsgType>(hello->type) != MsgType::kHello) {
+    error_ = "no ereld greeting from " + endpoint;
+    socket_ = net::Socket{};
+    return false;
+  }
+  const std::string expected = "ereld " + std::to_string(kProtocolVersion);
+  if (hello->payload != expected) {
+    error_ = "protocol mismatch: daemon says '" + hello->payload +
+             "', client speaks '" + expected + "'";
+    socket_ = net::Socket{};
+    return false;
+  }
+  return true;
+}
+
+bool RemoteClient::send_cell(const CellRequest& request) {
+  if (!socket_.valid()) return false;
+  if (socket_.send_frame(
+          net::Frame{static_cast<std::uint8_t>(MsgType::kRunCell),
+                     encode_cell_request(request)}))
+    return true;
+  error_ = "connection lost while sending cell request";
+  socket_ = net::Socket{};
+  return false;
+}
+
+bool RemoteClient::subscribe(const std::string& fingerprint_hex,
+                             const std::string& channel) {
+  if (!socket_.valid()) return false;
+  if (socket_.send_frame(
+          net::Frame{static_cast<std::uint8_t>(MsgType::kSubscribe),
+                     encode_subscribe(SubscribeMsg{fingerprint_hex, channel})}))
+    return true;
+  error_ = "connection lost while subscribing";
+  socket_ = net::Socket{};
+  return false;
+}
+
+RemoteClient::Pumped RemoteClient::pump() {
+  bool clean_eof = false;
+  const std::optional<net::Frame> frame = socket_.recv_frame(&clean_eof);
+  if (!frame) {
+    error_ = clean_eof ? "daemon closed the connection"
+                       : "connection lost (corrupt frame or read error)";
+    socket_ = net::Socket{};
+    return Pumped::kClosed;
+  }
+  switch (static_cast<MsgType>(frame->type)) {
+    case MsgType::kResult: {
+      std::optional<ResultMsg> msg = decode_result(frame->payload);
+      if (!msg) {
+        error_ = "malformed kResult payload";
+        socket_ = net::Socket{};
+        return Pumped::kClosed;
+      }
+      results_.emplace(msg->id, std::move(*msg));
+      return Pumped::kDelivered;
+    }
+    case MsgType::kError: {
+      std::optional<ErrorMsg> msg = decode_error(frame->payload);
+      if (!msg) {
+        error_ = "malformed kError payload";
+        socket_ = net::Socket{};
+        return Pumped::kClosed;
+      }
+      errors_.emplace(msg->id, std::move(*msg));
+      return Pumped::kDelivered;
+    }
+    case MsgType::kUpdate: {
+      const std::optional<UpdateMsg> msg = decode_update(frame->payload);
+      if (msg && on_update_) on_update_(*msg);
+      return Pumped::kOther;
+    }
+    case MsgType::kStatsReply: {
+      last_stats_ = decode_stats(frame->payload);
+      return Pumped::kOther;
+    }
+    case MsgType::kPong:
+      return Pumped::kOther;
+    default:
+      return Pumped::kOther;  // unknown push traffic: ignore, stay connected
+  }
+}
+
+std::optional<ResultMsg> RemoteClient::await(std::uint64_t id,
+                                             std::string* why) {
+  for (;;) {
+    if (const auto it = results_.find(id); it != results_.end()) {
+      ResultMsg msg = std::move(it->second);
+      results_.erase(it);
+      return msg;
+    }
+    if (const auto it = errors_.find(id); it != errors_.end()) {
+      if (why != nullptr) *why = "daemon refused cell: " + it->second.message;
+      errors_.erase(it);
+      return std::nullopt;
+    }
+    // Connection-level errors (id 0) poison every pending await.
+    if (const auto it = errors_.find(0); id != 0 && it != errors_.end()) {
+      if (why != nullptr) *why = "daemon error: " + it->second.message;
+      return std::nullopt;
+    }
+    if (!socket_.valid()) {
+      if (why != nullptr) *why = error_;
+      return std::nullopt;
+    }
+    if (pump() == Pumped::kClosed) {
+      if (why != nullptr) *why = error_;
+      return std::nullopt;
+    }
+  }
+}
+
+std::optional<DaemonStats> RemoteClient::stats() {
+  if (!socket_.valid()) return std::nullopt;
+  last_stats_.reset();
+  if (!socket_.send_frame(
+          net::Frame{static_cast<std::uint8_t>(MsgType::kStats), ""})) {
+    error_ = "connection lost while requesting stats";
+    socket_ = net::Socket{};
+    return std::nullopt;
+  }
+  while (!last_stats_) {
+    if (pump() == Pumped::kClosed) return std::nullopt;
+  }
+  return last_stats_;
+}
+
+bool RemoteClient::shutdown_server() {
+  if (!socket_.valid()) return false;
+  if (!socket_.send_frame(
+          net::Frame{static_cast<std::uint8_t>(MsgType::kShutdown), ""}))
+    return false;
+  // Drain until the daemon closes; a clean EOF is the acknowledgement.
+  for (;;) {
+    bool clean_eof = false;
+    if (!socket_.recv_frame(&clean_eof)) {
+      socket_ = net::Socket{};
+      return clean_eof;
+    }
+  }
+}
+
+}  // namespace erel::service

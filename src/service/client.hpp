@@ -1,0 +1,68 @@
+// Blocking client for the experiment daemon (service/daemon.hpp): one TCP
+// connection, pipelined cell requests, synchronous await with out-of-order
+// response buffering.
+//
+// The client never throws and never aborts on network trouble: every
+// failure surfaces as a false/nullopt return with the reason in error(),
+// so callers (harness::RemoteBackend) can degrade to local simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/socket.hpp"
+#include "service/protocol.hpp"
+
+namespace erel::service {
+
+class RemoteClient {
+ public:
+  RemoteClient() = default;
+
+  /// Connects to "host:port" and validates the daemon's kHello (a version
+  /// mismatch is a refusal — the payload encodings may have diverged).
+  [[nodiscard]] bool connect(const std::string& endpoint);
+
+  [[nodiscard]] bool connected() const { return socket_.valid(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  /// kUpdate frames are delivered here as they interleave with awaited
+  /// responses (they carry no request id; they are push traffic).
+  void set_update_handler(std::function<void(const UpdateMsg&)> handler) {
+    on_update_ = std::move(handler);
+  }
+
+  /// Fire-and-forget sends; responses are read by await()/stats().
+  [[nodiscard]] bool send_cell(const CellRequest& request);
+  [[nodiscard]] bool subscribe(const std::string& fingerprint_hex,
+                               const std::string& channel);
+
+  /// Blocks until the response for `id` arrives (kResult or kError —
+  /// responses to other pipelined ids are buffered). nullopt on a kError
+  /// reply or connection loss; `why` (optional) receives the reason.
+  [[nodiscard]] std::optional<ResultMsg> await(std::uint64_t id,
+                                               std::string* why = nullptr);
+
+  /// Round-trips kStats. nullopt on connection loss.
+  [[nodiscard]] std::optional<DaemonStats> stats();
+
+  /// Sends kShutdown and waits for the daemon to close the connection.
+  [[nodiscard]] bool shutdown_server();
+
+ private:
+  enum class Pumped { kDelivered, kOther, kClosed };
+  /// Reads one frame, dispatching updates/buffering responses.
+  Pumped pump();
+
+  net::Socket socket_;
+  std::string error_;
+  std::function<void(const UpdateMsg&)> on_update_;
+  std::map<std::uint64_t, ResultMsg> results_;
+  std::map<std::uint64_t, ErrorMsg> errors_;
+  std::optional<DaemonStats> last_stats_;
+};
+
+}  // namespace erel::service

@@ -1,0 +1,133 @@
+// ExperimentDaemon: a long-lived simulation service over the framed
+// protocol (service/protocol.hpp).
+//
+// One daemon owns an on-disk result cache and a pool of simulation workers;
+// any number of sweep clients connect, ship serialized cells, and read back
+// `.erelres` entries that are byte-identical to what a local cached run
+// would have produced. Identical fingerprints are deduplicated at every
+// level: served from disk when present, folded into the in-flight cell when
+// one is already simulating (the second requester simply joins the first's
+// completion), simulated exactly once otherwise.
+//
+// Threading (three kinds of threads, one lock):
+//   loop thread    net::EventServer::run(): all socket I/O, all frame
+//                  handling, all send()s. Completions arrive via post().
+//   pool workers   run one cell each (harness::run_one); they touch only
+//                  the in-flight table (under mu_) and the filesystem.
+//   ticker         wakes every tick_ms, reads the last published registry
+//                  snapshot of each watched cell (StatRegistry::snapshot())
+//                  and posts incremental channel slices to subscribers.
+//
+// Subscriptions are EPICS-monitor-style: a client names (fingerprint,
+// channel path) and receives kUpdate pushes while the cell simulates, then
+// one final update flagged `final_update`. Cells nobody watches publish
+// nothing (the registry's subscriber-count guard), so the daemon never
+// slows an unwatched sweep. Sampled cells have no single live registry
+// (per-window cores), so their subscribers receive only the final update.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "net/server.hpp"
+#include "service/protocol.hpp"
+#include "sim/stat_registry.hpp"
+
+namespace erel::service {
+
+class ExperimentDaemon : public net::EventServer::Handler {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;   // 0 = ephemeral; read back via port()
+    std::string cache_dir;    // "" = no disk cache (pure compute server)
+    unsigned workers = 0;     // simulation pool size; 0 = hardware
+
+    /// Cycles between registry snapshot publishes on watched cells.
+    std::uint64_t snapshot_interval_cycles = 10'000;
+    /// Subscriber push cadence, milliseconds.
+    unsigned tick_ms = 25;
+  };
+
+  explicit ExperimentDaemon(const Options& opts);
+  ~ExperimentDaemon() override;
+
+  ExperimentDaemon(const ExperimentDaemon&) = delete;
+  ExperimentDaemon& operator=(const ExperimentDaemon&) = delete;
+
+  /// False when the listening socket could not be bound (error() says why).
+  [[nodiscard]] bool valid() const { return server_.valid(); }
+  [[nodiscard]] const std::string& error() const { return server_.error(); }
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+
+  /// Serves until stop(); call from one thread (it becomes the loop
+  /// thread). Outstanding simulations are drained before returning.
+  void run();
+
+  /// Thread-safe (and signal-safe: one atomic store + one pipe write).
+  void stop() { server_.stop(); }
+
+  [[nodiscard]] DaemonStats stats() const;
+
+  // ---- net::EventServer::Handler (loop thread) ----
+  void on_connect(std::uint64_t client) override;
+  void on_frame(std::uint64_t client, net::Frame frame) override;
+  void on_disconnect(std::uint64_t client) override;
+
+ private:
+  struct Waiter {
+    std::uint64_t client = 0;
+    std::uint64_t request_id = 0;
+  };
+  struct Subscription {
+    std::uint64_t client = 0;
+    std::string channel;
+    std::size_t sent_points = 0;  // slice cursor into the channel
+  };
+  /// One cell being simulated (or queued), keyed by fingerprint hex.
+  struct InFlight {
+    CellRequest request;
+    std::vector<Waiter> waiters;
+    std::vector<Subscription> subs;
+    sim::StatRegistry* live = nullptr;  // set while the core runs
+    bool live_subscribed = false;       // we hold one snapshot subscription
+    /// Captured from the live registry at run end (before core teardown)
+    /// when subscribers exist: the source of the final channel slices.
+    std::optional<sim::StatRegistry> final_registry;
+  };
+
+  void handle_run_cell(std::uint64_t client, const net::Frame& frame);
+  void handle_subscribe(std::uint64_t client, const net::Frame& frame);
+  void send_error(std::uint64_t client, std::uint64_t id,
+                  const std::string& message);
+  void run_cell(const std::string& fp_hex);        // pool worker
+  void complete_cell(const std::string& fp_hex,    // loop thread (posted)
+                     const std::string& entry_text);
+  void send_update(std::uint64_t client, const UpdateMsg& msg);
+  void push_updates();  // loop thread (posted by the ticker)
+  void ticker_loop();
+
+  Options opts_;
+  net::EventServer server_;
+  ThreadPool pool_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<InFlight>> inflight_;
+  /// Subscriptions naming fingerprints with no in-flight cell yet; attached
+  /// when (if) a matching kRunCell arrives.
+  std::multimap<std::string, Subscription> pending_subs_;
+  DaemonStats stats_;
+
+  std::thread ticker_;
+  std::atomic<bool> ticker_stop_{false};
+};
+
+}  // namespace erel::service

@@ -1,0 +1,147 @@
+// Wire protocol of the experiment daemon (ereld): message tags carried in
+// net::Frame::type plus the text payload encodings.
+//
+// Everything rides the repo's existing canonical text formats: a sweep-cell
+// request is the config/sampling canonical-field rendering (the exact text
+// the result-cache fingerprint hashes, sim/config.cpp + sim/sampling.cpp),
+// and a result is a verbatim `.erelres` cache entry (harness/results.hpp) —
+// so a daemon-served cell is byte-identical to a locally-cached one by
+// construction, and the two ends cannot disagree about what a field means
+// without the strict parsers failing loudly.
+//
+// Conversation shape (client = one figure binary / harness::RemoteBackend):
+//
+//   connect  ->  kHello "ereld <version>"
+//   kRunCell (id, fingerprint, cell)       -> kResult (id, cached, entry)
+//                                          or kError (id, reason)
+//   kSubscribe (fingerprint, channel path) -> kUpdate* (points so far),
+//                                             final update flagged
+//   kPing -> kPong        kStats -> kStatsReply        kShutdown -> close
+//
+// Requests are pipelined: a client may send any number of kRunCell frames
+// before reading; responses carry the request id, not an ordering promise.
+// Subscriptions are EPICS-monitor-style: named channel, push on change.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/results.hpp"
+#include "sim/config.hpp"
+#include "sim/sampling.hpp"
+
+namespace erel::service {
+
+/// Bump when any payload encoding changes; the client refuses to talk to a
+/// daemon announcing a different version (kHello).
+inline constexpr unsigned kProtocolVersion = 1;
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,       // server -> client, on connect
+  kRunCell = 2,     // client -> server
+  kResult = 3,      // server -> client
+  kError = 4,       // server -> client
+  kSubscribe = 5,   // client -> server
+  kUpdate = 6,      // server -> client
+  kPing = 7,        // client -> server
+  kPong = 8,        // server -> client
+  kStats = 9,       // client -> server
+  kStatsReply = 10, // server -> client
+  kShutdown = 11,   // client -> server
+};
+
+/// One sweep cell, as shipped to the daemon. `fingerprint_hex` is the
+/// *client's* content-addressed fingerprint (harness/fingerprint.hpp); the
+/// daemon recomputes its own from the decoded cell and refuses on mismatch
+/// (a client and daemon built from diverged sources must never share
+/// results). `stat_stride` rides outside the canonical fields (it never
+/// changes results) so subscribed clients can choose their channel
+/// resolution.
+struct CellRequest {
+  std::uint64_t id = 0;  // client-chosen; echoed in kResult / kError
+  harness::ExpKey key;
+  std::string workload;
+  std::string fingerprint_hex;
+  sim::SimConfig config;
+  std::optional<sim::SamplingConfig> sampling;
+  std::vector<std::string> probe_names;
+  std::uint64_t stat_stride = 0;
+};
+
+std::string encode_cell_request(const CellRequest& request);
+std::optional<CellRequest> decode_cell_request(std::string_view payload);
+
+/// kResult: `entry_text` is a complete `.erelres` cache entry; the client
+/// re-validates it with parse_entry against its own fingerprint and key.
+/// `cached` distinguishes a warm-cache hit from a fresh simulation (for the
+/// ResultSet's provenance counters).
+struct ResultMsg {
+  std::uint64_t id = 0;
+  bool cached = false;
+  std::string entry_text;
+};
+
+std::string encode_result(const ResultMsg& msg);
+std::optional<ResultMsg> decode_result(std::string_view payload);
+
+/// kError: id 0 = connection-level (not tied to one request).
+struct ErrorMsg {
+  std::uint64_t id = 0;
+  std::string message;
+};
+
+std::string encode_error(const ErrorMsg& msg);
+std::optional<ErrorMsg> decode_error(std::string_view payload);
+
+/// kSubscribe: watch one registry channel of one cell, addressed by
+/// fingerprint. Snapshots of the channel are pushed as kUpdate frames while
+/// the cell simulates; subscribing to a cell that is not in flight is
+/// remembered until a matching kRunCell arrives (on this or any other
+/// connection).
+struct SubscribeMsg {
+  std::string fingerprint_hex;
+  std::string channel;  // e.g. "channel/commit/committed"
+};
+
+std::string encode_subscribe(const SubscribeMsg& msg);
+std::optional<SubscribeMsg> decode_subscribe(std::string_view payload);
+
+/// kUpdate: an incremental slice of the channel — `points[0]` is the
+/// series' element number `first`, so the client reassembles the full
+/// series without re-transmission. `final_update` marks the last push (the
+/// cell completed; the slice extends to the series' end).
+struct UpdateMsg {
+  std::string fingerprint_hex;
+  std::string channel;
+  std::uint64_t stride = 0;
+  std::uint64_t first = 0;
+  bool final_update = false;
+  std::vector<double> points;
+};
+
+std::string encode_update(const UpdateMsg& msg);
+std::optional<UpdateMsg> decode_update(std::string_view payload);
+
+/// kStatsReply: daemon-lifetime counters (also how tests assert the
+/// in-flight dedupe: `simulated` counts actual simulations, so N clients
+/// racing on one fingerprint leave `simulated == 1`).
+struct DaemonStats {
+  std::uint64_t requests = 0;      // kRunCell frames accepted
+  std::uint64_t cache_hits = 0;    // served from the on-disk cache
+  std::uint64_t simulated = 0;     // cells actually simulated
+  std::uint64_t deduped = 0;       // requests folded into an in-flight cell
+  std::uint64_t errors = 0;        // kError replies sent
+  std::uint64_t subscriptions = 0; // kSubscribe frames accepted
+  std::uint64_t updates = 0;       // kUpdate frames sent
+  std::uint64_t inflight = 0;      // cells queued or running right now
+
+  bool operator==(const DaemonStats&) const = default;
+};
+
+std::string encode_stats(const DaemonStats& stats);
+std::optional<DaemonStats> decode_stats(std::string_view payload);
+
+}  // namespace erel::service

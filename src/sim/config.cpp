@@ -1,5 +1,9 @@
 #include "sim/config.hpp"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
 namespace erel::sim {
 
 bool config_fingerprintable(const SimConfig& config) {
@@ -8,53 +12,148 @@ bool config_fingerprintable(const SimConfig& config) {
 
 namespace {
 
-void field(std::string& out, std::string_view name, std::uint64_t value) {
-  out += name;
-  out += '=';
-  out += std::to_string(value);
-  out += '\n';
-}
-
-}  // namespace
-
-void append_canonical_fields(const SimConfig& config, std::string& out) {
-  field(out, "policy", static_cast<std::uint64_t>(config.policy));
-  field(out, "phys_int", config.phys_int);
-  field(out, "phys_fp", config.phys_fp);
-  field(out, "ros_size", config.ros_size);
-  field(out, "lsq_size", config.lsq_size);
-  field(out, "decode_width", config.decode_width);
-  field(out, "issue_width", config.issue_width);
-  field(out, "commit_width", config.commit_width);
-  field(out, "max_pending_branches", config.max_pending_branches);
-  field(out, "ghr_bits", config.ghr_bits);
-  field(out, "fetch.width", config.fetch.width);
-  field(out, "fetch.max_blocks_per_cycle", config.fetch.max_blocks_per_cycle);
-  field(out, "fetch.buffer_capacity", config.fetch.buffer_capacity);
-  field(out, "fus.int_alu", config.fus.int_alu);
-  field(out, "fus.int_mul", config.fus.int_mul);
-  field(out, "fus.fp_alu", config.fus.fp_alu);
-  field(out, "fus.fp_mul", config.fus.fp_mul);
-  field(out, "fus.fp_div", config.fus.fp_div);
-  field(out, "fus.ld_st", config.fus.ld_st);
-  for (const mem::CacheConfig* cache :
-       {&config.memory.l1i, &config.memory.l1d, &config.memory.l2}) {
+// Single enumeration of every result-affecting field, shared by the
+// canonical serializer and its parser so the two can never disagree about
+// the field list (a field added to one but not the other fails the strict
+// parse, which the round-trip test catches). `Config` is (const) SimConfig;
+// the visitor is overloaded on the member types.
+template <class Config, class Fn>
+void canonical_fields(Config& config, Fn&& f) {
+  f("policy", config.policy);
+  f("phys_int", config.phys_int);
+  f("phys_fp", config.phys_fp);
+  f("ros_size", config.ros_size);
+  f("lsq_size", config.lsq_size);
+  f("decode_width", config.decode_width);
+  f("issue_width", config.issue_width);
+  f("commit_width", config.commit_width);
+  f("max_pending_branches", config.max_pending_branches);
+  f("ghr_bits", config.ghr_bits);
+  f("fetch.width", config.fetch.width);
+  f("fetch.max_blocks_per_cycle", config.fetch.max_blocks_per_cycle);
+  f("fetch.buffer_capacity", config.fetch.buffer_capacity);
+  f("fus.int_alu", config.fus.int_alu);
+  f("fus.int_mul", config.fus.int_mul);
+  f("fus.fp_alu", config.fus.fp_alu);
+  f("fus.fp_mul", config.fus.fp_mul);
+  f("fus.fp_div", config.fus.fp_div);
+  f("fus.ld_st", config.fus.ld_st);
+  for (auto* cache : {&config.memory.l1i, &config.memory.l1d,
+                      &config.memory.l2}) {
     const std::string prefix = "memory." + cache->name + ".";
-    field(out, prefix + "size_bytes", cache->size_bytes);
-    field(out, prefix + "associativity", cache->associativity);
-    field(out, prefix + "line_bytes", cache->line_bytes);
-    field(out, prefix + "hit_latency", cache->hit_latency);
+    f(prefix + "size_bytes", cache->size_bytes);
+    f(prefix + "associativity", cache->associativity);
+    f(prefix + "line_bytes", cache->line_bytes);
+    f(prefix + "hit_latency", cache->hit_latency);
   }
-  field(out, "memory.memory_latency", config.memory.memory_latency);
-  field(out, "max_cycles", config.max_cycles);
-  field(out, "max_instructions", config.max_instructions);
-  field(out, "check_oracle", config.check_oracle ? 1 : 0);
-  field(out, "flush_period", config.flush_period);
+  f("memory.memory_latency", config.memory.memory_latency);
+  f("max_cycles", config.max_cycles);
+  f("max_instructions", config.max_instructions);
+  f("check_oracle", config.check_oracle);
+  f("flush_period", config.flush_period);
   // stat_stride is deliberately absent: time-series channels never change
   // simulation results, so the same cached cell serves every stride (and
   // pre-existing fingerprints stay valid). fast_path is absent for the same
   // reason: the decode-once engine is bit-identical to the byte-accurate
   // one (pinned by tests/test_fastpath.cpp), so one cached cell serves both.
+}
+
+/// Appends "name=value" lines; every member type renders as a decimal
+/// std::uint64_t, exactly like the original hand-written serializer.
+struct FieldWriter {
+  std::string& out;
+
+  void emit(std::string_view name, std::uint64_t value) const {
+    out += name;
+    out += '=';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  void operator()(std::string_view name, std::uint64_t v) const {
+    emit(name, v);
+  }
+  void operator()(std::string_view name, unsigned v) const { emit(name, v); }
+  void operator()(std::string_view name, bool v) const {
+    emit(name, v ? 1 : 0);
+  }
+  void operator()(std::string_view name, core::PolicyKind v) const {
+    emit(name, static_cast<std::uint64_t>(v));
+  }
+};
+
+/// Assigns members from a name->text map; tracks strictness violations.
+struct FieldReader {
+  const std::map<std::string, std::string, std::less<>>& fields;
+  std::size_t consumed = 0;
+  bool ok = true;
+
+  std::optional<std::uint64_t> get(std::string_view name) {
+    const auto it = fields.find(name);
+    if (it == fields.end()) {
+      ok = false;
+      return std::nullopt;
+    }
+    ++consumed;
+    const std::string& text = it->second;
+    // strtoull silently wraps "-1"; require a plain digit string.
+    if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+      ok = false;
+      return std::nullopt;
+    }
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size() || errno != 0) {
+      ok = false;
+      return std::nullopt;
+    }
+    return v;
+  }
+  void operator()(std::string_view name, std::uint64_t& v) {
+    if (const auto got = get(name)) v = *got;
+  }
+  void operator()(std::string_view name, unsigned& v) {
+    const auto got = get(name);
+    if (!got) return;
+    if (*got > 0xffffffffull) {
+      ok = false;
+      return;
+    }
+    v = static_cast<unsigned>(*got);
+  }
+  void operator()(std::string_view name, bool& v) {
+    const auto got = get(name);
+    if (!got) return;
+    if (*got > 1) {
+      ok = false;
+      return;
+    }
+    v = *got != 0;
+  }
+  void operator()(std::string_view name, core::PolicyKind& v) {
+    const auto got = get(name);
+    if (!got) return;
+    if (*got > static_cast<std::uint64_t>(core::PolicyKind::Extended)) {
+      ok = false;
+      return;
+    }
+    v = static_cast<core::PolicyKind>(*got);
+  }
+};
+
+}  // namespace
+
+void append_canonical_fields(const SimConfig& config, std::string& out) {
+  canonical_fields(config, FieldWriter{out});
+}
+
+std::optional<SimConfig> config_from_canonical_fields(
+    const std::map<std::string, std::string, std::less<>>& fields) {
+  SimConfig config;
+  FieldReader reader{fields};
+  canonical_fields(config, reader);
+  if (!reader.ok || reader.consumed != fields.size()) return std::nullopt;
+  return config;
 }
 
 }  // namespace erel::sim

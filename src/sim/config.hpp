@@ -4,6 +4,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <optional>
 #include <string>
 
 #include "core/release_policy.hpp"
@@ -87,5 +89,16 @@ struct SimConfig {
 /// adding, removing or reordering a field here invalidates old cache
 /// entries (by design — the hash must change when semantics can).
 void append_canonical_fields(const SimConfig& config, std::string& out);
+
+/// Inverse of append_canonical_fields, used by the experiment daemon to
+/// reconstruct a client's config from the wire (src/service/). Strict by
+/// design: every canonical field must be present exactly once and no
+/// unknown name may appear, so a client and daemon built from different
+/// field lists fail loudly (nullopt) instead of silently simulating a
+/// different machine. Fields excluded from the canonical rendering
+/// (fast_path, stat_stride) keep their defaults; callers carry them
+/// separately when they matter (they never change results).
+[[nodiscard]] std::optional<SimConfig> config_from_canonical_fields(
+    const std::map<std::string, std::string, std::less<>>& fields);
 
 }  // namespace erel::sim

@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,6 +68,13 @@ struct SamplingConfig;
 /// measurement is bit-identical to serial at any thread count, so the same
 /// cached result serves both.
 void append_canonical_fields(const SamplingConfig& sampling, std::string& out);
+
+/// Inverse of append_canonical_fields (experiment-daemon wire format).
+/// Strict: every canonical field present exactly once, no unknown names,
+/// and the (period, warmup, detail) relation the SampledSimulator asserts
+/// must hold — a malformed request parses as nullopt, never aborts.
+[[nodiscard]] std::optional<SamplingConfig> sampling_from_canonical_fields(
+    const std::map<std::string, std::string, std::less<>>& fields);
 
 struct SamplingConfig {
   /// Instructions between consecutive sampling-unit starts (exactly, for
