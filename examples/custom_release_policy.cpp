@@ -80,8 +80,9 @@ class SourceOnlyBasic final : public core::ReleasePolicy {
       rf_.release(rec.old_pd, cycle, /*squashed=*/false);
   }
 
-  [[nodiscard]] PolicyCheckpoint make_checkpoint() const override {
-    return {.lus = lus_.snapshot(), .has_lus = true};
+  void make_checkpoint_into(PolicyCheckpoint& cp) const override {
+    cp.lus = lus_.snapshot();
+    cp.has_lus = true;
   }
   void restore_checkpoint(const PolicyCheckpoint& cp) override {
     lus_.restore(cp.lus);

@@ -6,6 +6,17 @@
 #include "common/log.hpp"
 #include "isa/semantics.hpp"
 
+// Threaded dispatch for the run() interpreter loop: on GCC/Clang each
+// micro-op body jumps through a computed-goto label table, giving the branch
+// predictor one indirect-branch site per *successor* op instead of a single
+// shared switch dispatch. Define EREL_NO_COMPUTED_GOTO to force the portable
+// switch loop (also the path non-GNU compilers take).
+#if !defined(EREL_NO_COMPUTED_GOTO) && (defined(__GNUC__) || defined(__clang__))
+#define EREL_COMPUTED_GOTO 1
+#else
+#define EREL_COMPUTED_GOTO 0
+#endif
+
 namespace erel::arch {
 
 using isa::DecodedInst;
@@ -241,11 +252,143 @@ void ArchState::step_bytes(StepInfo& info) {
   info.next_pc = next_pc;
 }
 
+std::uint64_t ArchState::run_decoded(std::uint64_t max_steps) {
+  // Mirrors step_decoded() op for op — same evaluation order, same memory
+  // and register effects, same icount accounting (the halting step itself
+  // counts) — but with no StepInfo construction and the PC kept in a local.
+  // Destination writes go straight to x_/f_: has_dst is already false for
+  // integer rd==0, so x_[0] is never written.
+  const MicroOp* const ops = decoded_->ops();
+  const std::uint64_t base = decoded_->code_base();
+  const std::uint64_t bytes = decoded_->code_end() - base;
+  std::uint64_t pc = pc_;
+  std::uint64_t executed = 0;
+  const MicroOp* mop = nullptr;
+
+  // EREL_DISPATCH fetches the next micro-op and jumps to its handler; it
+  // falls out to `done` when the step budget is exhausted or the PC leaves
+  // the image (wrong-path targets, returns past code_end). Entry PC
+  // alignment is the caller's contains() check; every transition below
+  // preserves it (+4, disp = imm*4, indirect targets masked to ~3).
+#if EREL_COMPUTED_GOTO
+  static const void* const kDispatch[] = {
+      &&lbl_kAlu,        &&lbl_kLoad,         &&lbl_kStore,
+      &&lbl_kCondBranch, &&lbl_kDirectJump,   &&lbl_kIndirectJump,
+      &&lbl_kHalt,       &&lbl_kIllegal};
+#define EREL_CASE(k) lbl_##k:
+#define EREL_DISPATCH()                                    \
+  {                                                        \
+    if (executed == max_steps) goto done;                  \
+    const std::uint64_t off = pc - base;                   \
+    if (off >= bytes) goto done;                           \
+    mop = ops + (off >> 2);                                \
+    ++executed;                                            \
+    goto* kDispatch[static_cast<unsigned>(mop->kind)];     \
+  }
+  EREL_DISPATCH()
+#else
+#define EREL_CASE(k) case MicroKind::k:
+#define EREL_DISPATCH() \
+  { continue; }
+  for (;;) {
+    if (executed == max_steps) break;
+    const std::uint64_t off = pc - base;
+    if (off >= bytes) break;
+    mop = ops + (off >> 2);
+    ++executed;
+    switch (mop->kind) {
+#endif
+
+      EREL_CASE(kAlu) {
+        const std::uint64_t a = src_value(mop->src1, mop->inst.rs1);
+        const std::uint64_t b = src_value(mop->src2, mop->inst.rs2);
+        const std::uint64_t value =
+            isa::exec_alu(mop->inst.op, a, b, mop->inst.imm);
+        if (mop->has_dst) {
+          if (mop->dst == RegClass::Int) x_[mop->inst.rd] = value;
+          else f_[mop->inst.rd] = value;
+        }
+        pc += 4;
+        EREL_DISPATCH()
+      }
+      EREL_CASE(kLoad) {
+        const std::uint64_t addr = src_value(mop->src1, mop->inst.rs1) +
+                                   static_cast<std::uint64_t>(mop->simm);
+        std::uint64_t value = mem_.read(addr, mop->mem_bytes);
+        if (mop->sext32) value = static_cast<std::uint64_t>(sext(value, 32));
+        if (mop->has_dst) {
+          if (mop->dst == RegClass::Int) x_[mop->inst.rd] = value;
+          else f_[mop->inst.rd] = value;
+        }
+        pc += 4;
+        EREL_DISPATCH()
+      }
+      EREL_CASE(kStore) {
+        const std::uint64_t addr = src_value(mop->src1, mop->inst.rs1) +
+                                   static_cast<std::uint64_t>(mop->simm);
+        const std::uint64_t b = src_value(mop->src2, mop->inst.rs2);
+        note_store(addr, mop->mem_bytes);
+        mem_.write(addr, b, mop->mem_bytes);
+        pc += 4;
+        // A store into the code image finishes architecturally, then hands
+        // control back so further fetches re-decode from memory.
+        if (code_dirty_) goto done;
+        EREL_DISPATCH()
+      }
+      EREL_CASE(kCondBranch) {
+        const std::uint64_t a = src_value(mop->src1, mop->inst.rs1);
+        const std::uint64_t b = src_value(mop->src2, mop->inst.rs2);
+        pc += isa::branch_taken(mop->inst.op, a, b)
+                  ? static_cast<std::uint64_t>(mop->disp)
+                  : 4;
+        EREL_DISPATCH()
+      }
+      EREL_CASE(kDirectJump) {
+        if (mop->has_dst) x_[mop->inst.rd] = pc + 4;
+        pc += static_cast<std::uint64_t>(mop->disp);
+        EREL_DISPATCH()
+      }
+      EREL_CASE(kIndirectJump) {
+        // Target read before the link write in case rd == rs1.
+        const std::uint64_t target =
+            (src_value(mop->src1, mop->inst.rs1) +
+             static_cast<std::uint64_t>(mop->simm)) &
+            ~std::uint64_t{3};
+        if (mop->has_dst) x_[mop->inst.rd] = pc + 4;
+        pc = target;
+        EREL_DISPATCH()
+      }
+      EREL_CASE(kHalt) {
+        halted_ = true;  // PC frozen on the HALT itself; the step counts
+        goto done;
+      }
+      EREL_CASE(kIllegal) {
+        halted_ = true;
+        goto done;
+      }
+
+#if !EREL_COMPUTED_GOTO
+    }
+  }
+#endif
+#undef EREL_CASE
+#undef EREL_DISPATCH
+
+done:
+  pc_ = pc;
+  icount_ += executed;
+  return executed;
+}
+
 std::uint64_t ArchState::run(std::uint64_t max_steps) {
   std::uint64_t steps = 0;
   while (!halted_ && steps < max_steps) {
-    step();
-    ++steps;
+    if (decoded_ != nullptr && !code_dirty_ && decoded_->contains(pc_)) {
+      steps += run_decoded(max_steps - steps);
+    } else {
+      step();
+      ++steps;
+    }
   }
   return steps;
 }

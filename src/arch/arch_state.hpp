@@ -57,6 +57,13 @@ class ArchState {
   StepInfo step();
 
   /// Runs until HALT or `max_steps`; returns executed instruction count.
+  ///
+  /// While the PC stays inside a clean decoded image this executes a
+  /// threaded-dispatch interpreter loop over the packed MicroOp array
+  /// (computed goto on GCC/Clang, a switch loop when EREL_NO_COMPUTED_GOTO
+  /// is defined) with no per-step StepInfo construction; out-of-image PCs,
+  /// self-modifying stores and the byte-accurate configuration fall back to
+  /// step(). Architectural results are bit-identical either way.
   std::uint64_t run(std::uint64_t max_steps = ~0ull);
 
   [[nodiscard]] bool halted() const { return halted_; }
@@ -94,6 +101,12 @@ class ArchState {
   }
 
  private:
+  /// run()'s hot loop: threaded dispatch over decoded_->ops() starting at
+  /// pc_, which the caller has verified is inside the clean decoded image.
+  /// Executes until halt, a code-dirtying store, the PC leaving the image,
+  /// or `max_steps`; returns the number of instructions executed (>= 1).
+  std::uint64_t run_decoded(std::uint64_t max_steps);
+
   /// Executes one instruction from the pre-decoded record (pc_ verified to
   /// be inside the decoded image by the caller).
   void step_decoded(const MicroOp& mop, StepInfo& info);

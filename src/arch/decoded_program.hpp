@@ -89,6 +89,11 @@ class DecodedProgram {
 
   [[nodiscard]] std::size_t size() const { return ops_.size(); }
 
+  /// The packed record array (ops()[i] decodes code_base + 4*i). The
+  /// threaded-dispatch interpreter loop indexes it directly instead of
+  /// paying contains()/at() per instruction.
+  [[nodiscard]] const MicroOp* ops() const { return ops_.data(); }
+
   /// Decodes and classifies one instruction word (also the slow path's
   /// classifier: kind_of(decode(word)) == make_op(word).kind).
   static MicroOp make_op(std::uint32_t word);

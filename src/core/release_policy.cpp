@@ -52,7 +52,9 @@ void ReleasePolicy::on_branch_decoded(InstSeq) {}
 void ReleasePolicy::on_branch_confirmed(InstSeq, std::uint64_t) {}
 void ReleasePolicy::on_branch_mispredicted(InstSeq) {}
 
-PolicyCheckpoint ReleasePolicy::make_checkpoint() const { return {}; }
+void ReleasePolicy::make_checkpoint_into(PolicyCheckpoint& cp) const {
+  cp.has_lus = false;
+}
 void ReleasePolicy::restore_checkpoint(const PolicyCheckpoint&) {}
 void ReleasePolicy::commit_update_checkpoint(PolicyCheckpoint&, InstSeq) const {}
 void ReleasePolicy::on_exception_flush() {}
@@ -200,11 +202,9 @@ class BasicPolicy : public ReleasePolicy {
     }
   }
 
-  [[nodiscard]] PolicyCheckpoint make_checkpoint() const override {
-    PolicyCheckpoint cp;
+  void make_checkpoint_into(PolicyCheckpoint& cp) const override {
     cp.lus = lus_.snapshot();
     cp.has_lus = true;
-    return cp;
   }
 
   void restore_checkpoint(const PolicyCheckpoint& cp) override {

@@ -117,7 +117,14 @@ class ReleasePolicy {
 
   // ---- checkpointing of policy-private state (the LUs Table) ----
 
-  [[nodiscard]] virtual PolicyCheckpoint make_checkpoint() const;
+  /// Fills `cp` in place (policies without aux state only clear has_lus, so
+  /// checkpoint-heavy paths never copy an unused LUs snapshot around).
+  virtual void make_checkpoint_into(PolicyCheckpoint& cp) const;
+  [[nodiscard]] PolicyCheckpoint make_checkpoint() const {
+    PolicyCheckpoint cp;
+    make_checkpoint_into(cp);
+    return cp;
+  }
   virtual void restore_checkpoint(const PolicyCheckpoint& cp);
   /// Applies a committing instruction's C-bit update to a checkpoint copy.
   virtual void commit_update_checkpoint(PolicyCheckpoint& cp,

@@ -8,6 +8,11 @@ using isa::RegClass;
 
 RenameUnit::RenameUnit(const RenameConfig& config, PipelineHooks& hooks)
     : config_(config) {
+  slots_.resize(config.max_pending_branches);
+  order_.reserve(config.max_pending_branches);
+  free_.reserve(config.max_pending_branches);
+  for (std::uint32_t id = config.max_pending_branches; id-- > 0;)
+    free_.push_back(id);
   state_[0] = std::make_unique<RegFileState>(RC::Int, config.phys_int);
   state_[1] = std::make_unique<RegFileState>(RC::Fp, config.phys_fp);
   for (unsigned c = 0; c < kNumClasses; ++c) {
@@ -86,24 +91,29 @@ bool RenameUnit::try_rename(const isa::DecodedInst& inst, InstSeq seq,
 
 void RenameUnit::note_branch_decoded(InstSeq seq) {
   EREL_CHECK(can_checkpoint(), "checkpoint stack overflow");
-  EREL_CHECK(checkpoints_.empty() || checkpoints_.back().branch_seq < seq);
-  Checkpoint cp;
+  EREL_CHECK(order_.empty() || slots_[order_.back()].branch_seq < seq);
+  // Built in place inside a recycled slot: no allocation, no copy of the
+  // ~1 KB snapshot arrays beyond the snapshots themselves.
+  const std::uint32_t id = free_.back();
+  free_.pop_back();
+  order_.push_back(id);
+  Checkpoint& cp = slots_[id];
   cp.branch_seq = seq;
   for (unsigned c = 0; c < kNumClasses; ++c) {
     cp.map[c] = state_[c]->map.snapshot();
-    cp.aux[c] = policy_[c]->make_checkpoint();
+    policy_[c]->make_checkpoint_into(cp.aux[c]);
     policy_[c]->on_branch_decoded(seq);
   }
-  checkpoints_.push_back(std::move(cp));
 }
 
 void RenameUnit::on_branch_confirmed(InstSeq seq, std::uint64_t cycle) {
-  // Branches verify out of order: erase the matching checkpoint wherever it
-  // sits in the stack.
+  // Branches verify out of order: retire the matching checkpoint wherever
+  // it sits in the stack (only its 4-byte slot id moves).
   bool found = false;
-  for (auto it = checkpoints_.begin(); it != checkpoints_.end(); ++it) {
-    if (it->branch_seq == seq) {
-      checkpoints_.erase(it);
+  for (auto it = order_.begin(); it != order_.end(); ++it) {
+    if (slots_[*it].branch_seq == seq) {
+      free_.push_back(*it);
+      order_.erase(it);
       found = true;
       break;
     }
@@ -115,22 +125,22 @@ void RenameUnit::on_branch_confirmed(InstSeq seq, std::uint64_t cycle) {
 
 void RenameUnit::on_branch_mispredicted(InstSeq seq) {
   // Find the checkpoint; restore it; drop it and everything younger.
-  std::size_t idx = checkpoints_.size();
-  for (std::size_t i = 0; i < checkpoints_.size(); ++i) {
-    if (checkpoints_[i].branch_seq == seq) {
+  std::size_t idx = order_.size();
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    if (slots_[order_[i]].branch_seq == seq) {
       idx = i;
       break;
     }
   }
-  EREL_CHECK(idx != checkpoints_.size(), "mispredict of unknown branch ", seq);
-  Checkpoint& cp = checkpoints_[idx];
+  EREL_CHECK(idx != order_.size(), "mispredict of unknown branch ", seq);
+  Checkpoint& cp = slots_[order_[idx]];
   for (unsigned c = 0; c < kNumClasses; ++c) {
     state_[c]->map.restore(cp.map[c]);
     policy_[c]->restore_checkpoint(cp.aux[c]);
     policy_[c]->on_branch_mispredicted(seq);
   }
-  checkpoints_.erase(checkpoints_.begin() + static_cast<std::ptrdiff_t>(idx),
-                     checkpoints_.end());
+  for (std::size_t i = idx; i < order_.size(); ++i) free_.push_back(order_[i]);
+  order_.resize(idx);
 }
 
 void RenameUnit::on_commit(const RenameRec& rec, InstSeq seq,
@@ -156,9 +166,15 @@ void RenameUnit::on_commit(const RenameRec& rec, InstSeq seq,
     policy_[c]->on_commit(rec, seq, cycle);
 
   // 4. The C-bit update must reach every live checkpoint copy (§3.2).
-  for (Checkpoint& cp : checkpoints_) {
-    for (unsigned c = 0; c < kNumClasses; ++c)
-      policy_[c]->commit_update_checkpoint(cp.aux[c], seq);
+  // Checkpoints without policy aux state (has_lus clear) have nothing to
+  // update; skipping them spares conventional-policy runs two virtual
+  // no-op calls per live checkpoint per commit.
+  for (const std::uint32_t id : order_) {
+    Checkpoint& cp = slots_[id];
+    for (unsigned c = 0; c < kNumClasses; ++c) {
+      if (cp.aux[c].has_lus)
+        policy_[c]->commit_update_checkpoint(cp.aux[c], seq);
+    }
   }
 }
 
@@ -189,7 +205,8 @@ void RenameUnit::on_exception_flush(std::uint64_t cycle) {
     state_[c]->map.restore(state_[c]->iomt.snapshot());
     policy_[c]->on_exception_flush();
   }
-  checkpoints_.clear();
+  for (const std::uint32_t id : order_) free_.push_back(id);
+  order_.clear();
 }
 
 }  // namespace erel::core

@@ -12,9 +12,9 @@
 
 #include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "core/release_policy.hpp"
 #include "core/reg_state.hpp"
@@ -54,7 +54,7 @@ class RenameUnit {
 
   /// True if a conditional/indirect branch can take a checkpoint now.
   [[nodiscard]] bool can_checkpoint() const {
-    return checkpoints_.size() < config_.max_pending_branches;
+    return order_.size() < config_.max_pending_branches;
   }
 
   /// Renames one instruction into `rec` (which must already be registered so
@@ -87,7 +87,7 @@ class RenameUnit {
   void on_exception_flush(std::uint64_t cycle);
 
   [[nodiscard]] unsigned pending_checkpoints() const {
-    return static_cast<unsigned>(checkpoints_.size());
+    return static_cast<unsigned>(order_.size());
   }
 
   /// Free-list-empty rename stalls observed (per class).
@@ -105,7 +105,15 @@ class RenameUnit {
   RenameConfig config_;
   std::array<std::unique_ptr<RegFileState>, kNumClasses> state_;
   std::array<std::unique_ptr<ReleasePolicy>, kNumClasses> policy_;
-  std::deque<Checkpoint> checkpoints_;  // oldest first
+  // Branch checkpoints live in a slot pool preallocated to the stack depth:
+  // a Checkpoint is ~1 KB of snapshot arrays, so container push/erase would
+  // pay a heap allocation per decoded branch and a multi-KB element shift
+  // per out-of-order confirm. Slots never move or reallocate; `order_`
+  // (alive slot ids, oldest first) carries all per-branch bookkeeping and
+  // `free_` recycles slots of confirmed/squashed branches.
+  std::vector<Checkpoint> slots_;
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> free_;
   std::array<std::uint64_t, kNumClasses> rename_stalls_{};
 };
 

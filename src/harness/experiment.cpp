@@ -178,21 +178,32 @@ ResultSet Experiment::run(const RunOptions& opts) const {
           local.push_back(i);
         }
       }
+      // Await failures are summarized once per sweep (like the
+      // connect-failure path above): a dying daemon would otherwise emit
+      // one warning per outstanding cell, which for a large sweep is
+      // hundreds of identical lines.
+      std::size_t await_failures = 0;
+      std::string first_why;
       for (const std::size_t i : dispatched) {
         std::string raw_text;
         std::string why;
         std::optional<ExpEntry> entry =
             remote.await(i, cells[i].key, fp_hex[i], &raw_text, &why);
         if (!entry) {
-          EREL_WARN("cell ", cells[i].key.to_string(),
-                    " not served by ", opts.server, " (", why,
-                    "); simulating locally");
+          if (await_failures == 0) first_why = why;
+          ++await_failures;
           local.push_back(i);
           continue;
         }
         if (!cache_path[i].empty())
           save_cache_entry(cache_path[i], raw_text);
         ready[i] = std::move(entry);
+      }
+      if (await_failures > 0) {
+        EREL_WARN(await_failures, " of ", dispatched.size(),
+                  " dispatched cell(s) not served by ", opts.server,
+                  " (first failure: ", first_why,
+                  "); simulating them locally");
       }
       pending = std::move(local);
       std::sort(pending.begin(), pending.end());

@@ -103,15 +103,11 @@ constexpr std::array<OpInfo, kNumOpcodes> build_table() {
   return t;
 }
 
-constexpr std::array<OpInfo, kNumOpcodes> kOpTable = build_table();
-
 }  // namespace
 
-const OpInfo& op_info(Opcode op) {
-  const auto idx = static_cast<unsigned>(op);
-  EREL_CHECK(idx < kNumOpcodes, "opcode ", idx);
-  return kOpTable[idx];
-}
+namespace detail {
+constinit const std::array<OpInfo, kNumOpcodes> kOpTable = build_table();
+}  // namespace detail
 
 std::optional<Opcode> opcode_from_mnemonic(std::string_view mnemonic) {
   static const std::unordered_map<std::string_view, Opcode> map = [] {

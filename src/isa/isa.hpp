@@ -10,6 +10,7 @@
 // disassembler, assembler and execution semantics are all driven from it.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string_view>
@@ -95,8 +96,18 @@ struct OpInfo {
   std::uint8_t mem_bytes;    // access size for loads/stores, else 0
 };
 
-/// Table lookup; aborts on out-of-range opcode.
-const OpInfo& op_info(Opcode op);
+namespace detail {
+/// Static opcode descriptor table (built in isa.cpp).
+extern const std::array<OpInfo, kNumOpcodes> kOpTable;
+}  // namespace detail
+
+/// Table lookup. Inline: the flag/class/latency helpers below sit on every
+/// hot path of both engines (tens of queries per simulated instruction), so
+/// each must collapse to a load+mask rather than a function call. Bounds are
+/// the caller's contract; decode() never produces an out-of-range opcode.
+inline const OpInfo& op_info(Opcode op) {
+  return detail::kOpTable[static_cast<unsigned>(op)];
+}
 
 /// Decoded instruction: architectural fields only (no microarchitectural
 /// state). `imm` is already sign/zero-extended per the opcode's convention.

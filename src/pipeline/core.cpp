@@ -54,7 +54,8 @@ Core::Core(const sim::SimConfig& config, const arch::Program& program,
       fu_pool_(config.fus),
       rename_({config.phys_int, config.phys_fp, config.policy,
                config.max_pending_branches, config.policy_factory},
-              *this) {
+              *this),
+      scheduler_(config.phys_int, config.phys_fp) {
   arch::load_program(program, mem_);
   fetch_.set_pc(program.entry);
   fetch_.set_decoded(decoded_.get());
@@ -140,6 +141,8 @@ Core::~Core() = default;
 void Core::attach_probe(sim::Probe* probe) {
   EREL_CHECK(probe != nullptr, "attach_probe(nullptr)");
   probes_.push_back(probe);
+  has_probes_ = true;
+  fetch_.note_probes_changed();
   // Arm the register-lifecycle seam: RegFileState only routes alloc/release
   // notifications through its hooks pointer once a probe is listening, so
   // unprobed runs pay no virtual calls on the rename path.
@@ -228,6 +231,46 @@ std::uint64_t Core::finish_load_value(Opcode op, std::uint64_t raw) const {
   return raw;  // LD/FLD full width, LBU zero-extended by the byte extract
 }
 
+void Core::schedule_issue(RosEntry& e) {
+  // Park on the *first* operand register found not ready, checked in the
+  // same order operands_ready() checks them; whoever drains the park (the
+  // wakeup for that register, or the pop-time re-check in phase_issue)
+  // re-evaluates the full condition, so waiting on one operand at a time is
+  // sufficient: every false->true ready transition is a write_value (or a
+  // squashed reuse, which squash_after re-wakes explicitly).
+  const core::RenameRec& rec = e.rec;
+  if (rec.c1 != RegClass::None &&
+      !rename_.rf(core::rc_from(rec.c1)).ready[rec.p1]) {
+    scheduler_.park(core::rc_from(rec.c1), rec.p1, {e.seq, e.uid});
+    e.sched = SchedResidence::Parked;
+    return;
+  }
+  if (!e.inst.is_store() && rec.c2 != RegClass::None &&
+      !rename_.rf(core::rc_from(rec.c2)).ready[rec.p2]) {
+    scheduler_.park(core::rc_from(rec.c2), rec.p2, {e.seq, e.uid});
+    e.sched = SchedResidence::Parked;
+    return;
+  }
+  scheduler_.make_ready({e.seq, e.uid});
+  e.sched = SchedResidence::Ready;
+}
+
+void Core::wake_consumers(core::RC cls, core::PhysReg reg) {
+  EREL_CHECK(woken_.empty());  // call sites never nest
+  scheduler_.wake(cls, reg, woken_);
+  for (const SchedTag tag : woken_) {
+    // Squashes remove parked tags eagerly, so a woken tag is always a live,
+    // still-Dispatched instruction.
+    RosEntry* entry = live_entry(tag.seq, tag.uid);
+    EREL_CHECK(entry != nullptr && entry->state == EntryState::Dispatched &&
+                   entry->sched == SchedResidence::Parked,
+               "stale wakeup tag for seq ", tag.seq);
+    entry->sched = SchedResidence::None;
+    schedule_issue(*entry);
+  }
+  woken_.clear();
+}
+
 // --- per-cycle phases ----------------------------------------------------
 
 void Core::phase_fetch() { fetch_.tick(cycle_); }
@@ -280,7 +323,8 @@ void Core::phase_dispatch() {
       rename_.note_branch_decoded(seq);
       pending_branches_.push_back(seq);
     }
-    if (!probes_.empty()) {
+    schedule_issue(e);
+    if (has_probes_) {
       const sim::RenameEvent ev{seq, e.pc, &e.inst, &e.rec, cycle_};
       for (sim::Probe* probe : probes_) probe->on_rename(ev);
     }
@@ -300,7 +344,7 @@ void Core::execute(RosEntry& e) {
   const unsigned latency = inst.info().latency;
 
   if (inst.op == Opcode::ILLEGAL || inst.is_halt()) {
-    events_.push({cycle_ + 1, e.seq, e.uid});
+    completions_.schedule(cycle_ + 1, e.seq, e.uid);
     return;
   }
   if (inst.is_mem()) {
@@ -311,12 +355,12 @@ void Core::execute(RosEntry& e) {
     if (inst.is_store()) {
       if (rename_.rf(core::rc_from(rec.c2)).ready[rec.p2]) {
         lsq_.set_store_data(e.seq, b);
-        events_.push({cycle_ + latency, e.seq, e.uid});
+        completions_.schedule(cycle_ + latency, e.seq, e.uid);
       } else {
-        pending_stores_.push_back({0, e.seq, e.uid});
+        pending_stores_.push_back({e.seq, e.uid});
       }
     } else {
-      pending_loads_.push_back({0, e.seq, e.uid});  // the memory phase takes over
+      pending_loads_.push_back({e.seq, e.uid});  // the memory phase takes over
     }
     return;
   }
@@ -326,7 +370,7 @@ void Core::execute(RosEntry& e) {
         e.actual_taken
             ? e.pc + static_cast<std::uint64_t>(std::int64_t{inst.imm} * 4)
             : e.pc + 4;
-    events_.push({cycle_ + latency, e.seq, e.uid});
+    completions_.schedule(cycle_ + latency, e.seq, e.uid);
     return;
   }
   if (inst.is_indirect_jump()) {
@@ -336,36 +380,65 @@ void Core::execute(RosEntry& e) {
         ~std::uint64_t{3};
     e.result = e.pc + 4;
     e.has_result = true;
-    events_.push({cycle_ + latency, e.seq, e.uid});
+    completions_.schedule(cycle_ + latency, e.seq, e.uid);
     return;
   }
   if (inst.is_direct_jump()) {
     e.result = e.pc + 4;
     e.has_result = true;
-    events_.push({cycle_ + latency, e.seq, e.uid});
+    completions_.schedule(cycle_ + latency, e.seq, e.uid);
     return;
   }
   e.result = isa::exec_alu(inst.op, a, b, inst.imm);
   e.has_result = true;
-  events_.push({cycle_ + latency, e.seq, e.uid});
+  completions_.schedule(cycle_ + latency, e.seq, e.uid);
 }
 
 void Core::phase_issue() {
+  // Only ready-queue members are considered: same candidate set the old
+  // full-ROS scan found (every transition into readiness funnels through
+  // schedule_issue / wake_consumers), considered in the same oldest-first
+  // order, so issue decisions are bit-identical — at a cost proportional to
+  // the ready work, not the ROS size.
+  std::vector<SchedTag>& ready = scheduler_.ready();
+  if (ready.empty()) return;
   fu_pool_.begin_cycle(cycle_);
+  std::sort(ready.begin(), ready.end(),
+            [](const SchedTag& a, const SchedTag& b) { return a.seq < b.seq; });
   unsigned issued = 0;
-  for (InstSeq seq = ros_.head_seq();
-       seq < ros_.tail_seq() && issued < config_.issue_width; ++seq) {
-    RosEntry& e = ros_.at(seq);
-    if (e.state != EntryState::Dispatched) continue;
-    if (e.dispatch_cycle >= cycle_) continue;  // issue earliest next cycle
-    if (!operands_ready(e)) continue;
+  std::size_t keep = 0;
+  std::size_t i = 0;
+  for (; i < ready.size() && issued < config_.issue_width; ++i) {
+    const SchedTag tag = ready[i];
+    RosEntry* entry = live_entry(tag.seq, tag.uid);
+    EREL_CHECK(entry != nullptr && entry->state == EntryState::Dispatched &&
+                   entry->sched == SchedResidence::Ready,
+               "stale ready-queue tag for seq ", tag.seq);
+    RosEntry& e = *entry;
+    if (!operands_ready(e)) {
+      // An operand's register was released early and reallocated to a
+      // younger definer since this entry became ready: park it again.
+      e.sched = SchedResidence::None;
+      schedule_issue(e);
+      continue;
+    }
+    if (e.dispatch_cycle >= cycle_) {  // issue earliest next cycle
+      ready[keep++] = tag;
+      continue;
+    }
     const isa::OpInfo& info = e.inst.info();
-    if (!fu_pool_.try_issue(info.fu, cycle_, info.latency)) continue;
+    if (!fu_pool_.try_issue(info.fu, cycle_, info.latency)) {
+      ready[keep++] = tag;  // stays ready; retried next cycle
+      continue;
+    }
     e.state = EntryState::Issued;
+    e.sched = SchedResidence::None;
     e.issue_cycle = cycle_;
     execute(e);
     ++issued;
   }
+  for (; i < ready.size(); ++i) ready[keep++] = ready[i];  // past issue width
+  ready.resize(keep);
 }
 
 void Core::phase_memory() {
@@ -384,7 +457,7 @@ void Core::phase_memory() {
       continue;
     }
     lsq_.set_store_data(seq, operand_value(rec.c2, rec.p2));
-    events_.push({cycle_ + 1, seq, entry->uid});
+    completions_.schedule(cycle_ + 1, seq, entry->uid);
     pending_stores_.erase(pending_stores_.begin() +
                           static_cast<std::ptrdiff_t>(i));
   }
@@ -406,18 +479,18 @@ void Core::phase_memory() {
     if (status == LoadStatus::Forward) {
       e.result = finish_load_value(e.inst.op, forwarded);
       e.has_result = true;
-      events_.push({cycle_ + 1, seq, e.uid});
+      completions_.schedule(cycle_ + 1, seq, e.uid);
     } else {  // Memory
       if (e.fault) {
         // Misaligned (wrong-path) load: deliver a dead zero; a committed
         // fault aborts in phase_commit.
         e.result = 0;
         e.has_result = true;
-        events_.push({cycle_ + 1, seq, e.uid});
+        completions_.schedule(cycle_ + 1, seq, e.uid);
       } else {
         const LsqEntry& le = lsq_.get(seq);
         const unsigned latency = hierarchy_.dload(le.addr);
-        if (!probes_.empty()) {
+        if (has_probes_) {
           const sim::CacheAccessEvent ev{le.addr, /*is_write=*/false, latency,
                                          cycle_};
           for (sim::Probe* probe : probes_) probe->on_cache_access(ev);
@@ -425,7 +498,7 @@ void Core::phase_memory() {
         const std::uint64_t raw = mem_.read(le.addr, le.size);
         e.result = finish_load_value(e.inst.op, raw);
         e.has_result = true;
-        events_.push({cycle_ + latency, seq, e.uid});
+        completions_.schedule(cycle_ + latency, seq, e.uid);
       }
     }
     pending_loads_.erase(pending_loads_.begin() +
@@ -445,7 +518,7 @@ void Core::resolve_branch(RosEntry& e) {
     if (mispredicted) ++*ctr_.indirect_mispredicts;
     btb_.update(e.pc, e.actual_target);
   }
-  if (!probes_.empty()) {
+  if (has_probes_) {
     const sim::BranchEvent ev{e.pc,    e.actual_target, is_cond,
                               e.actual_taken, mispredicted, cycle_};
     for (sim::Probe* probe : probes_) probe->on_branch_resolve(ev);
@@ -487,14 +560,17 @@ void Core::complete(RosEntry& e) {
     EREL_CHECK(e.has_result, "destination with no result at pc ", e.pc);
     rename_.rf(core::rc_from(e.rec.cd))
         .write_value(e.rec.pd, e.result, cycle_);
+    // The wakeup replaces the scan's polling: consumers parked on pd see
+    // the new value at this cycle's issue phase, exactly when the old
+    // every-cycle readiness scan would have.
+    wake_consumers(core::rc_from(e.rec.cd), e.rec.pd);
   }
   if (e.is_cond_or_indirect()) resolve_branch(e);
 }
 
 void Core::phase_writeback() {
-  while (!events_.empty() && events_.top().cycle <= cycle_) {
-    const CompletionEvent ev = events_.top();
-    events_.pop();
+  while (completions_.has_due(cycle_)) {
+    const CompletionEvent ev = completions_.pop();
     RosEntry* entry = live_entry(ev.seq, ev.uid);
     if (entry == nullptr) continue;  // squashed since scheduling
     RosEntry& e = *entry;
@@ -546,14 +622,14 @@ void Core::phase_commit() {
       mem_.write(popped.addr, popped.data, popped.size);
       const unsigned latency =
           hierarchy_.dstore(popped.addr);  // commit-time D-cache update
-      if (!probes_.empty()) {
+      if (has_probes_) {
         const sim::CacheAccessEvent ev{popped.addr, /*is_write=*/true,
                                        latency, cycle_};
         for (sim::Probe* probe : probes_) probe->on_cache_access(ev);
       }
     }
     rename_.on_commit(e.rec, e.seq, cycle_);
-    if (!probes_.empty()) {
+    if (has_probes_) {
       const sim::CommitEvent ev{e.seq,          e.pc,
                                 isa::encode(e.inst), e.dispatch_cycle,
                                 e.issue_cycle,  e.complete_cycle,
@@ -593,21 +669,32 @@ void Core::check_oracle(const RosEntry& e, const LsqEntry* mem_entry) {
 
 void Core::squash_after(InstSeq boundary) {
   const InstSeq tail = ros_.tail_seq();
+  reuse_wakes_.clear();
   for (InstSeq seq = tail; seq-- > boundary + 1;) {
     RosEntry& e = ros_.at(seq);
+    // A squashed reuse restores the previous version's ready bit (see
+    // RenameUnit::on_squash_entry) with no writeback to wake on — collect
+    // the register so surviving consumers parked on it are re-woken below.
+    if (e.rec.has_dst() && e.rec.reused_prev)
+      reuse_wakes_.emplace_back(core::rc_from(e.rec.cd), e.rec.pd);
     rename_.on_squash_entry(e.rec, cycle_);
     if (e.rec.has_dst() && !e.rec.reused_prev)
       ++*ctr_.squash_released[static_cast<unsigned>(core::rc_from(e.rec.cd))];
   }
   ros_.truncate_after(boundary);
   lsq_.squash_after(boundary);
-  std::erase_if(pending_loads_, [boundary](const CompletionEvent& ev) {
+  // Squashed tags leave the scheduler eagerly (before the reuse wakeups, so
+  // only survivors are woken); completion events stay and die on the lazy
+  // uid check in phase_writeback.
+  scheduler_.squash_after(boundary);
+  for (const auto& [cls, reg] : reuse_wakes_) wake_consumers(cls, reg);
+  std::erase_if(pending_loads_, [boundary](const SchedTag& ev) {
     return ev.seq > boundary;
   });
-  std::erase_if(pending_stores_, [boundary](const CompletionEvent& ev) {
+  std::erase_if(pending_stores_, [boundary](const SchedTag& ev) {
     return ev.seq > boundary;
   });
-  if (!probes_.empty() && tail > boundary + 1) {
+  if (has_probes_ && tail > boundary + 1) {
     const sim::SquashEvent ev{boundary, tail - (boundary + 1), cycle_};
     for (sim::Probe* probe : probes_) probe->on_squash(ev);
   }
@@ -618,7 +705,7 @@ void Core::exception_flush(std::uint64_t resume_pc) {
   for (InstSeq seq = ros_.tail_seq(); seq-- > ros_.head_seq();) {
     rename_.on_squash_entry(ros_.at(seq).rec, cycle_);
   }
-  if (!probes_.empty()) {
+  if (has_probes_) {
     const sim::SquashEvent ev{core::kNoSeq, flushed, cycle_};
     for (sim::Probe* probe : probes_) probe->on_squash(ev);
   }
@@ -627,7 +714,8 @@ void Core::exception_flush(std::uint64_t resume_pc) {
   pending_loads_.clear();
   pending_stores_.clear();
   pending_branches_.clear();
-  while (!events_.empty()) events_.pop();
+  scheduler_.clear();
+  completions_.clear();
   rename_.on_exception_flush(cycle_);
   fetch_.redirect(resume_pc);
 }
@@ -656,7 +744,7 @@ void Core::tick() {
         static_cast<double>(committed_ - chan_committed_at_stride_));
     chan_committed_at_stride_ = committed_;
   }
-  if (!probes_.empty()) {
+  if (has_probes_) {
     const sim::CycleEvent ev{cycle_};
     for (sim::Probe* probe : probes_) probe->on_cycle(ev);
   }

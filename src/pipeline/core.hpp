@@ -11,10 +11,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "arch/arch_state.hpp"
@@ -31,6 +30,7 @@
 #include "pipeline/fu_pool.hpp"
 #include "pipeline/lsq.hpp"
 #include "pipeline/ros.hpp"
+#include "pipeline/scheduler.hpp"
 #include "sim/config.hpp"
 #include "sim/probe.hpp"
 #include "sim/stat_registry.hpp"
@@ -128,15 +128,6 @@ class Core final : public core::PipelineHooks {
                       bool squashed, bool reused) override;
 
  private:
-  struct CompletionEvent {
-    std::uint64_t cycle;
-    core::InstSeq seq;
-    std::uint64_t uid;  // must match the ROS entry (seqs recycle on squash)
-    bool operator>(const CompletionEvent& other) const {
-      return cycle > other.cycle;
-    }
-  };
-
   /// Entry for `seq` if it is still the same dynamic instruction.
   RosEntry* live_entry(core::InstSeq seq, std::uint64_t uid);
 
@@ -155,6 +146,15 @@ class Core final : public core::PipelineHooks {
   [[nodiscard]] bool operands_ready(const RosEntry& e) const;
   [[nodiscard]] std::uint64_t operand_value(isa::RegClass cls,
                                             core::PhysReg p) const;
+
+  /// Hands a Dispatched entry to the issue scheduler: parked on the first
+  /// operand register found not ready (mirroring operands_ready()'s check
+  /// order), or straight into the ready queue.
+  void schedule_issue(RosEntry& e);
+
+  /// Writeback wakeup: re-evaluates every consumer parked on (cls, reg).
+  void wake_consumers(core::RC cls, core::PhysReg reg);
+
   void execute(RosEntry& e);
   void complete(RosEntry& e);
   void resolve_branch(RosEntry& e);
@@ -181,12 +181,18 @@ class Core final : public core::PipelineHooks {
   FuPool fu_pool_;
   core::RenameUnit rename_;
 
-  std::deque<core::InstSeq> pending_branches_;  // unresolved, decode order
-  std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
-                      std::greater<>>
-      events_;
-  std::vector<CompletionEvent> pending_loads_;   // cycle field unused
-  std::vector<CompletionEvent> pending_stores_;  // address known, data pending
+  std::vector<core::InstSeq> pending_branches_;  // unresolved, decode order
+                                                 // (bounded by the
+                                                 // checkpoint stack depth)
+  IssueScheduler scheduler_;
+  CompletionQueue completions_;
+  std::vector<SchedTag> woken_;  // wake_consumers scratch (no nesting)
+  // Registers whose squashed definer reused its previous mapping: the
+  // squash resurrects their ready bit without a writeback, so survivors
+  // parked on them must be re-woken (squash_after scratch).
+  std::vector<std::pair<core::RC, core::PhysReg>> reuse_wakes_;
+  std::vector<SchedTag> pending_loads_;   // in the memory stage
+  std::vector<SchedTag> pending_stores_;  // address known, data pending
   std::uint64_t next_uid_ = 1;
 
   std::unique_ptr<arch::ArchState> oracle_;
@@ -216,6 +222,9 @@ class Core final : public core::PipelineHooks {
   } ctr_;
 
   std::vector<sim::Probe*> probes_;  // non-owning, attach order
+  // Cached probes_.empty() — one flag instead of a size load+compare at
+  // every event fan-out site on the hot phases.
+  bool has_probes_ = false;
 
   // Fixed-stride commit channel bookkeeping (config_.stat_stride > 0;
   // handle registered in the ctor, null when channels are off).

@@ -11,10 +11,16 @@ FetchUnit::FetchUnit(const FetchConfig& config,
       hierarchy_(hierarchy),
       gshare_(gshare),
       btb_(btb),
-      ras_(ras) {}
+      ras_(ras) {
+  std::size_t slots = 1;
+  while (slots < config.buffer_capacity) slots <<= 1;
+  buffer_.resize(slots);
+  buf_mask_ = static_cast<std::uint32_t>(slots - 1);
+}
 
 void FetchUnit::redirect(std::uint64_t pc) {
-  buffer_.clear();
+  buf_head_ = 0;
+  buf_size_ = 0;
   pc_ = pc;
   halted_ = false;
   // The in-flight I-cache miss (if any) is abandoned.
@@ -71,14 +77,13 @@ void FetchUnit::tick(std::uint64_t cycle) {
   unsigned fetched = 0;
   unsigned blocks = 1;
   const unsigned line_bytes = hierarchy_.l1i().config().line_bytes;
-  while (fetched < config_.width &&
-         buffer_.size() < config_.buffer_capacity) {
+  while (fetched < config_.width && buf_size_ < config_.buffer_capacity) {
     // Charge the I-cache once per line touched.
     const std::uint64_t line = pc_ / line_bytes;
     if (line != current_line_) {
       const unsigned latency = hierarchy_.ifetch(pc_);
       current_line_ = line;
-      if (probes_ != nullptr && !probes_->empty()) {
+      if (has_probes_) {
         const sim::CacheAccessEvent ev{pc_, /*is_write=*/false, latency,
                                        cycle, /*is_ifetch=*/true};
         for (sim::Probe* probe : *probes_) probe->on_cache_access(ev);
@@ -89,19 +94,19 @@ void FetchUnit::tick(std::uint64_t cycle) {
       }
     }
 
-    FetchedInst fi;
+    FetchedInst& fi = next_slot();
     fi.pc = pc_;
     fi.inst = decoded_ != nullptr && decoded_->contains(pc_)
                   ? decoded_->at(pc_).inst
                   : isa::decode(memory_.read_u32(pc_));
     if (fi.inst.is_halt()) {
-      buffer_.push_back(fi);
+      ++buf_size_;
       halted_ = true;
       return;
     }
     if (fi.inst.is_control()) {
       predict(fi);
-      buffer_.push_back(fi);
+      ++buf_size_;
       ++fetched;
       if (fi.predicted_taken) {
         if (blocks >= config_.max_blocks_per_cycle) {
@@ -115,7 +120,7 @@ void FetchUnit::tick(std::uint64_t cycle) {
       pc_ += 4;
       continue;
     }
-    buffer_.push_back(fi);
+    ++buf_size_;
     ++fetched;
     pc_ += 4;
   }

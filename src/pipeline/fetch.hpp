@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "arch/decoded_program.hpp"
@@ -54,9 +53,18 @@ class FetchUnit {
   void set_decoded(const arch::DecodedProgram* decoded) { decoded_ = decoded; }
 
   /// Probe fan-out list for I-side CacheAccessEvents (non-owning; the core
-  /// shares its own attach-ordered list). Zero-probe runs pay one empty()
-  /// check per line touched.
-  void set_probes(const std::vector<sim::Probe*>* probes) { probes_ = probes; }
+  /// shares its own attach-ordered list). The enable decision is cached in
+  /// one flag, so zero-probe runs pay a single predictable branch per line
+  /// touched; the core re-notifies after each attach_probe.
+  void set_probes(const std::vector<sim::Probe*>* probes) {
+    probes_ = probes;
+    note_probes_changed();
+  }
+
+  /// Re-caches has_probes_ after the shared probe list changed.
+  void note_probes_changed() {
+    has_probes_ = probes_ != nullptr && !probes_->empty();
+  }
 
   /// Squash recovery: drops buffered instructions and restarts at `pc`.
   void redirect(std::uint64_t pc);
@@ -64,9 +72,14 @@ class FetchUnit {
   /// Fetches up to width instructions into the buffer.
   void tick(std::uint64_t cycle);
 
-  [[nodiscard]] bool buffer_empty() const { return buffer_.empty(); }
-  [[nodiscard]] const FetchedInst& front() const { return buffer_.front(); }
-  void pop_front() { buffer_.pop_front(); }
+  [[nodiscard]] bool buffer_empty() const { return buf_size_ == 0; }
+  [[nodiscard]] const FetchedInst& front() const {
+    return buffer_[buf_head_];
+  }
+  void pop_front() {
+    buf_head_ = (buf_head_ + 1) & buf_mask_;
+    --buf_size_;
+  }
 
   [[nodiscard]] std::uint64_t icache_stall_cycles() const {
     return icache_stall_cycles_;
@@ -85,8 +98,22 @@ class FetchUnit {
   branch::Ras& ras_;
   const arch::DecodedProgram* decoded_ = nullptr;
   const std::vector<sim::Probe*>* probes_ = nullptr;
+  bool has_probes_ = false;  // cached probes_->empty() (see set_probes)
 
-  std::deque<FetchedInst> buffer_;
+  /// Returns the next free ring slot, cleared; the caller fills it and
+  /// commits with ++buf_size_ (fetch runs a few million times per simulated
+  /// second, so the buffer is a fixed ring filled in place — no deque node
+  /// machinery, no staging copy of FetchedInst).
+  FetchedInst& next_slot() {
+    FetchedInst& fi = buffer_[(buf_head_ + buf_size_) & buf_mask_];
+    fi = FetchedInst{};
+    return fi;
+  }
+
+  std::vector<FetchedInst> buffer_;  // pow2 ring of buffer_capacity slots
+  std::uint32_t buf_head_ = 0;
+  std::uint32_t buf_size_ = 0;
+  std::uint32_t buf_mask_ = 0;
   std::uint64_t pc_ = 0;
   std::uint64_t icache_ready_cycle_ = 0;  // stalled on an I-cache miss until
   std::uint64_t current_line_ = ~std::uint64_t{0};

@@ -20,20 +20,26 @@ bool range_covers(std::uint64_t outer, unsigned outer_size, std::uint64_t inner,
 
 Lsq::Lsq(unsigned capacity) : capacity_(capacity) {
   EREL_CHECK(capacity > 0);
+  std::size_t slots = 1;
+  while (slots < capacity) slots <<= 1;
+  slots_.resize(slots);
+  mask_ = static_cast<std::uint32_t>(slots - 1);
 }
 
 void Lsq::push(core::InstSeq seq, bool is_store, unsigned size) {
   EREL_CHECK(!full(), "push into full LSQ");
-  EREL_CHECK(entries_.empty() || entries_.back().seq < seq);
-  LsqEntry entry;
+  EREL_CHECK(size_ == 0 || nth(size_ - 1).seq < seq);
+  LsqEntry& entry = nth(size_);
+  entry = LsqEntry{};
   entry.seq = seq;
   entry.is_store = is_store;
   entry.size = static_cast<std::uint8_t>(size);
-  entries_.push_back(entry);
+  ++size_;
 }
 
 const LsqEntry& Lsq::find(core::InstSeq seq) const {
-  for (const LsqEntry& e : entries_) {
+  for (std::size_t i = 0; i < size_; ++i) {
+    const LsqEntry& e = nth(i);
     if (e.seq == seq) return e;
   }
   EREL_FATAL("LSQ entry not found for seq ", seq);
@@ -63,8 +69,8 @@ LoadStatus Lsq::query_load(core::InstSeq seq, std::uint64_t* value) const {
   // Scan older stores from youngest to oldest.
   const LsqEntry* covering = nullptr;
   bool any_overlap = false;
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    const LsqEntry& e = *it;
+  for (std::size_t i = size_; i-- > 0;) {
+    const LsqEntry& e = nth(i);
     if (e.seq >= seq) continue;
     if (!e.is_store) continue;
     if (!e.addr_known) return LoadStatus::Wait;  // conservative rule
@@ -91,16 +97,15 @@ LoadStatus Lsq::query_load(core::InstSeq seq, std::uint64_t* value) const {
 }
 
 LsqEntry Lsq::pop_commit(core::InstSeq seq) {
-  EREL_CHECK(!entries_.empty() && entries_.front().seq == seq,
-             "commit order violated in LSQ");
-  const LsqEntry entry = entries_.front();
-  entries_.pop_front();
+  EREL_CHECK(size_ > 0 && nth(0).seq == seq, "commit order violated in LSQ");
+  const LsqEntry entry = nth(0);
+  head_ = (head_ + 1) & mask_;
+  --size_;
   return entry;
 }
 
 void Lsq::squash_after(core::InstSeq boundary) {
-  while (!entries_.empty() && entries_.back().seq > boundary)
-    entries_.pop_back();
+  while (size_ > 0 && nth(size_ - 1).seq > boundary) --size_;
 }
 
 }  // namespace erel::pipeline

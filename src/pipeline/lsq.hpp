@@ -5,8 +5,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "core/types.hpp"
 
@@ -34,8 +34,8 @@ class Lsq {
  public:
   explicit Lsq(unsigned capacity);
 
-  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool full() const { return size_ >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Allocates an entry at dispatch (program order).
   void push(core::InstSeq seq, bool is_store, unsigned size);
@@ -58,14 +58,28 @@ class Lsq {
   /// Drops every entry younger than `boundary` (branch squash).
   void squash_after(core::InstSeq boundary);
 
-  void clear() { entries_.clear(); }
+  void clear() { size_ = 0; }
 
  private:
   [[nodiscard]] const LsqEntry& find(core::InstSeq seq) const;
   LsqEntry& find(core::InstSeq seq);
 
+  /// i-th oldest live entry (0 == front).
+  [[nodiscard]] const LsqEntry& nth(std::size_t i) const {
+    return slots_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] LsqEntry& nth(std::size_t i) {
+    return slots_[(head_ + i) & mask_];
+  }
+
   unsigned capacity_;
-  std::deque<LsqEntry> entries_;  // program order, oldest first
+  // Program order, oldest first, in a pow2 ring (the queue holds at most
+  // `capacity_` small trivially-copyable entries — a node container buys
+  // nothing here).
+  std::vector<LsqEntry> slots_;
+  std::uint32_t head_ = 0;
+  std::uint32_t size_ = 0;
+  std::uint32_t mask_ = 0;
 };
 
 }  // namespace erel::pipeline

@@ -4,44 +4,12 @@
 
 namespace erel::pipeline {
 
-Ros::Ros(unsigned capacity) : capacity_(capacity), slots_(capacity) {
+Ros::Ros(unsigned capacity) : capacity_(capacity) {
   EREL_CHECK(capacity > 0);
+  std::size_t slots = 1;
+  while (slots < capacity) slots <<= 1;
+  slots_.resize(slots);
+  mask_ = slots - 1;
 }
-
-RosEntry& Ros::push(core::InstSeq seq) {
-  EREL_CHECK(!full(), "push into full ROS");
-  EREL_CHECK(seq == tail_, "sequence discontinuity: ", seq, " vs ", tail_);
-  RosEntry& entry = slots_[seq % capacity_];
-  entry = RosEntry{};
-  entry.seq = seq;
-  ++tail_;
-  return entry;
-}
-
-RosEntry& Ros::at(core::InstSeq seq) {
-  EREL_CHECK(contains(seq), "ROS access to retired/absent seq ", seq);
-  RosEntry& entry = slots_[seq % capacity_];
-  EREL_CHECK(entry.seq == seq);
-  return entry;
-}
-
-const RosEntry& Ros::at(core::InstSeq seq) const {
-  EREL_CHECK(contains(seq), "ROS access to retired/absent seq ", seq);
-  const RosEntry& entry = slots_[seq % capacity_];
-  EREL_CHECK(entry.seq == seq);
-  return entry;
-}
-
-void Ros::pop_head() {
-  EREL_CHECK(!empty());
-  ++head_;
-}
-
-void Ros::truncate_after(core::InstSeq boundary) {
-  EREL_CHECK(boundary >= head_ - 1 && boundary < tail_);
-  tail_ = boundary + 1;
-}
-
-void Ros::clear() { head_ = tail_; }
 
 }  // namespace erel::pipeline

@@ -1,13 +1,15 @@
 // Reorder Structure (ROS): a FIFO over all uncommitted instructions,
 // addressed by monotone sequence number (paper §2: "a ROS address can be
-// used as a unique instruction identifier"; slot == seq % capacity). The
-// simulator follows SimpleScalar's RUU organization: ROS entries double as
-// the issue window.
+// used as a unique instruction identifier"). The simulator follows
+// SimpleScalar's RUU organization: ROS entries double as the issue window.
+// The slot array is rounded up to a power of two so the seq -> slot map is
+// a mask; occupancy is still bounded by the configured capacity.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/log.hpp"
 #include "core/types.hpp"
 #include "isa/isa.hpp"
 
@@ -22,6 +24,15 @@ enum class EntryState : std::uint8_t {
   Completed,   // result written back; eligible for commit
 };
 
+/// Which issue-scheduler structure currently tracks a Dispatched entry
+/// (pipeline/scheduler.hpp; maintained by Core). Exactly one of the two
+/// while Dispatched, None from issue onward.
+enum class SchedResidence : std::uint8_t {
+  None,    // not dispatched yet, or already issued
+  Parked,  // on the wakeup list of one not-ready operand register
+  Ready,   // in the explicit ready queue
+};
+
 struct RosEntry {
   core::InstSeq seq = core::kNoSeq;
   // Sequence numbers are reused after squashes (the ROS slot is seq %
@@ -32,6 +43,7 @@ struct RosEntry {
   isa::DecodedInst inst;
   core::RenameRec rec;
   EntryState state = EntryState::Dispatched;
+  SchedResidence sched = SchedResidence::None;
 
   // Branch bookkeeping (conditional branches and indirect jumps).
   bool has_checkpoint = false;
@@ -77,12 +89,32 @@ class Ros {
   [[nodiscard]] core::InstSeq tail_seq() const { return tail_; }
 
   /// Appends a new entry and returns it (seq assigned by the caller must be
-  /// the current tail sequence).
-  RosEntry& push(core::InstSeq seq);
+  /// the current tail sequence). Inline: push/at are the pipeline's densest
+  /// call sites, and the pow2-rounded slot array turns the slot computation
+  /// into a mask instead of a division by the configured capacity.
+  RosEntry& push(core::InstSeq seq) {
+    EREL_CHECK(!full(), "push into full ROS");
+    EREL_CHECK(seq == tail_, "sequence discontinuity: ", seq, " vs ", tail_);
+    RosEntry& entry = slots_[seq & mask_];
+    entry = RosEntry{};
+    entry.seq = seq;
+    ++tail_;
+    return entry;
+  }
 
   /// Entry lookup; aborts if `seq` is not in [head, tail).
-  RosEntry& at(core::InstSeq seq);
-  const RosEntry& at(core::InstSeq seq) const;
+  RosEntry& at(core::InstSeq seq) {
+    EREL_CHECK(contains(seq), "ROS access to retired/absent seq ", seq);
+    RosEntry& entry = slots_[seq & mask_];
+    EREL_CHECK(entry.seq == seq);
+    return entry;
+  }
+  const RosEntry& at(core::InstSeq seq) const {
+    EREL_CHECK(contains(seq), "ROS access to retired/absent seq ", seq);
+    const RosEntry& entry = slots_[seq & mask_];
+    EREL_CHECK(entry.seq == seq);
+    return entry;
+  }
 
   /// True if `seq` denotes an uncommitted, unsquashed instruction.
   [[nodiscard]] bool contains(core::InstSeq seq) const {
@@ -92,18 +124,26 @@ class Ros {
   [[nodiscard]] RosEntry& head() { return at(head_); }
 
   /// Retires the oldest entry.
-  void pop_head();
+  void pop_head() {
+    EREL_CHECK(!empty());
+    ++head_;
+  }
 
   /// Squashes every entry younger than `boundary` (exclusive); the caller
   /// iterates first via for_squash() to release registers.
-  void truncate_after(core::InstSeq boundary);
+  void truncate_after(core::InstSeq boundary) {
+    EREL_CHECK(boundary >= head_ - 1 && boundary < tail_);
+    tail_ = boundary + 1;
+  }
 
   /// Removes every entry (exception flush).
-  void clear();
+  void clear() { head_ = tail_; }
 
  private:
   unsigned capacity_;
-  std::vector<RosEntry> slots_;
+  std::vector<RosEntry> slots_;  // pow2-rounded; uniqueness of seq & mask_
+                                 // holds because the live window <= capacity
+  std::uint64_t mask_ = 0;
   core::InstSeq head_ = 1;  // seq numbers start at 1 (0 = "before everything")
   core::InstSeq tail_ = 1;
 };

@@ -1,0 +1,60 @@
+#include "pipeline/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace erel::pipeline {
+
+IssueScheduler::IssueScheduler(unsigned phys_int, unsigned phys_fp)
+    : phys_int_(phys_int), lists_(phys_int + phys_fp) {}
+
+std::size_t IssueScheduler::index(core::RC cls, core::PhysReg reg) const {
+  const std::size_t base = cls == core::RC::Int ? 0 : phys_int_;
+  const std::size_t i = base + reg;
+  EREL_CHECK(i < lists_.size(), "wakeup list index out of range: reg ", reg);
+  return i;
+}
+
+void IssueScheduler::park(core::RC cls, core::PhysReg reg, SchedTag tag) {
+  lists_[index(cls, reg)].push_back(tag);
+  ++waiters_;
+}
+
+void IssueScheduler::make_ready(SchedTag tag) { ready_.push_back(tag); }
+
+void IssueScheduler::wake(core::RC cls, core::PhysReg reg,
+                          std::vector<SchedTag>& out) {
+  std::vector<SchedTag>& list = lists_[index(cls, reg)];
+  if (list.empty()) return;
+  out.insert(out.end(), list.begin(), list.end());
+  waiters_ -= list.size();
+  list.clear();
+}
+
+void IssueScheduler::squash_after(core::InstSeq boundary) {
+  std::erase_if(ready_,
+                [boundary](const SchedTag& t) { return t.seq > boundary; });
+  if (waiters_ == 0) return;
+  for (std::vector<SchedTag>& list : lists_) {
+    if (list.empty()) continue;
+    const std::size_t before = list.size();
+    std::erase_if(list,
+                  [boundary](const SchedTag& t) { return t.seq > boundary; });
+    waiters_ -= before - list.size();
+  }
+}
+
+void IssueScheduler::clear() {
+  ready_.clear();
+  if (waiters_ == 0) return;
+  for (std::vector<SchedTag>& list : lists_) list.clear();
+  waiters_ = 0;
+}
+
+std::size_t IssueScheduler::waiter_count(core::RC cls,
+                                         core::PhysReg reg) const {
+  return lists_[index(cls, reg)].size();
+}
+
+}  // namespace erel::pipeline

@@ -1,0 +1,131 @@
+// Event-driven issue scheduling: the structures that make per-cycle cost
+// scale with work done instead of structure size.
+//
+// IssueScheduler replaces the full-ROS readiness scan: every Dispatched
+// entry lives in exactly one place — parked on the wakeup list of the first
+// operand register it found not ready, or in the explicit ready queue. The
+// writeback phase wakes the consumers of the register it just wrote; squash
+// removes the tags of squashed instructions eagerly, so stale tags never
+// survive into an issue cycle. On a cycle where nothing completes and
+// nothing is ready, phase_issue touches a single empty vector.
+//
+// CompletionQueue replaces the unconditional priority-queue walk in the
+// writeback phase with a cached next-due gate. Internally it keeps the
+// *exact* std::priority_queue the pre-refactor core used: the heap's
+// same-cycle pop order determines the order wrong-path branches resolve and
+// thus the predictor state every later fetch sees — it is pinned simulator
+// behavior (see docs/scheduler.md, "Determinism invariants"), which is why
+// a bucketed calendar queue must not replace it.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace erel::pipeline {
+
+/// Identifies one in-flight instruction. Sequence numbers recycle after a
+/// squash (the ROS slot is seq % capacity); the uid disambiguates, exactly
+/// as in the completion events.
+struct SchedTag {
+  core::InstSeq seq = core::kNoSeq;
+  std::uint64_t uid = 0;
+};
+
+/// One scheduled writeback: instruction `seq`/`uid` completes at `cycle`.
+struct CompletionEvent {
+  std::uint64_t cycle;
+  core::InstSeq seq;
+  std::uint64_t uid;  // must match the ROS entry (seqs recycle on squash)
+  bool operator>(const CompletionEvent& other) const {
+    return cycle > other.cycle;
+  }
+};
+
+/// Wakeup lists + ready queue. The core owns the policy (what to do with a
+/// woken tag); this class owns the bookkeeping invariant: a tag is parked on
+/// at most one register, or in the ready queue, never both.
+class IssueScheduler {
+ public:
+  IssueScheduler(unsigned phys_int, unsigned phys_fp);
+
+  /// Parks `tag` on the wakeup list of (cls, reg): it will be handed back
+  /// by the wake() for that register.
+  void park(core::RC cls, core::PhysReg reg, SchedTag tag);
+
+  /// Appends `tag` to the ready queue.
+  void make_ready(SchedTag tag);
+
+  /// Moves every consumer parked on (cls, reg) into `out` (appended; the
+  /// caller re-evaluates readiness and either re-parks or readies each).
+  void wake(core::RC cls, core::PhysReg reg, std::vector<SchedTag>& out);
+
+  /// Drops every tag with seq > boundary from the ready queue and all
+  /// wakeup lists (the squashed instructions' registers are being released;
+  /// their wakeups must never fire).
+  void squash_after(core::InstSeq boundary);
+
+  /// Exception flush: drops everything.
+  void clear();
+
+  /// The ready candidates. phase_issue sorts this by seq (oldest first),
+  /// consumes issued entries and keeps FU-blocked ones in place; exposing
+  /// the vector keeps that compaction allocation-free.
+  [[nodiscard]] std::vector<SchedTag>& ready() { return ready_; }
+
+  // Observers (tests / invariant checks).
+  [[nodiscard]] std::size_t ready_count() const { return ready_.size(); }
+  [[nodiscard]] std::size_t waiter_count() const { return waiters_; }
+  [[nodiscard]] std::size_t waiter_count(core::RC cls,
+                                         core::PhysReg reg) const;
+
+ private:
+  [[nodiscard]] std::size_t index(core::RC cls, core::PhysReg reg) const;
+
+  unsigned phys_int_;
+  std::vector<std::vector<SchedTag>> lists_;  // [int regs | fp regs]
+  std::vector<SchedTag> ready_;
+  std::size_t waiters_ = 0;  // total parked tags, for cheap idle checks
+};
+
+/// Cycle-ordered completion events with an O(1) idle gate.
+class CompletionQueue {
+ public:
+  void schedule(std::uint64_t cycle, core::InstSeq seq, std::uint64_t uid) {
+    if (cycle < next_due_) next_due_ = cycle;
+    events_.push({cycle, seq, uid});
+  }
+
+  /// True when an event is due at `cycle`; idle cycles resolve on the
+  /// cached next_due_ without touching the heap.
+  [[nodiscard]] bool has_due(std::uint64_t cycle) const {
+    return next_due_ <= cycle;
+  }
+
+  /// Pops the earliest event (same-cycle ties in heap order — pinned
+  /// behavior, see file comment).
+  CompletionEvent pop() {
+    const CompletionEvent ev = events_.top();
+    events_.pop();
+    next_due_ = events_.empty() ? kNever : events_.top().cycle;
+    return ev;
+  }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  void clear() {
+    while (!events_.empty()) events_.pop();
+    next_due_ = kNever;
+  }
+
+ private:
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+  std::priority_queue<CompletionEvent, std::vector<CompletionEvent>,
+                      std::greater<>>
+      events_;
+  std::uint64_t next_due_ = kNever;
+};
+
+}  // namespace erel::pipeline
