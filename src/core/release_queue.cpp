@@ -1,5 +1,7 @@
 #include "core/release_queue.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace erel::core {
@@ -59,6 +61,11 @@ ReleaseQueue::ConfirmResult ReleaseQueue::confirm(InstSeq branch_seq) {
     // "Branch-Confirm Release") and its RwC bits merge into RwC0.
     result.release_now = std::move(level.rwns);
     result.to_rwc0.assign(level.rwc.begin(), level.rwc.end());
+    // rwc is a hash map; sort the copy so downstream consumers see a
+    // stdlib-independent order (the RwC0 merge only ORs bits, but any
+    // future consumer that iterates must not inherit hash order).
+    std::sort(result.to_rwc0.begin(), result.to_rwc0.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   } else {
     // Middle level: OR into the next older level (Step 4, Figure 8a).
     Level& older = levels_[idx - 1];

@@ -1,0 +1,255 @@
+#include "lint/lexer.hpp"
+
+#include <cctype>
+
+namespace erel::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the rules care to see as one token. Only
+/// "::" and "->" matter (member-access and scope adjacency checks);
+/// everything else can split into single characters without changing any
+/// rule's behavior.
+bool two_char_punct(char a, char b) {
+  return (a == ':' && b == ':') || (a == '-' && b == '>');
+}
+
+class Scanner {
+ public:
+  Scanner(std::string path, std::string_view src) : src_(src) {
+    out_.path = std::move(path);
+  }
+
+  SourceFile run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        skip_preprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '/') {
+          line_comment();
+          continue;
+        }
+        if (src_[pos_ + 1] == '*') {
+          block_comment();
+          continue;
+        }
+      }
+      if (ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void push(Token::Kind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  /// A preprocessor directive runs to end of line, honoring backslash
+  /// continuations; its body is not tokenized (includes and macros are out
+  /// of every rule's scope), but comments inside it still terminate it
+  /// correctly enough for line accounting.
+  void skip_preprocessor() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void line_comment() {
+    const int start = line_;
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(
+        Comment{std::string(src_.substr(begin, pos_ - begin)), start});
+  }
+
+  void block_comment() {
+    const int start = line_;
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      ++pos_;
+    }
+    out_.comments.push_back(
+        Comment{std::string(src_.substr(begin, end - begin)), start});
+  }
+
+  void identifier() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    std::string text(src_.substr(begin, pos_ - begin));
+    // Raw string literal: R"delim( ... )delim".
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+         text == "LR")) {
+      raw_string();
+      return;
+    }
+    // Encoding-prefixed ordinary literal: u8"...", L"...", etc.
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      string_literal();
+      return;
+    }
+    push(Token::Kind::kIdent, std::move(text), line_);
+  }
+
+  void number() {
+    const int start = line_;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e+9, 0x1p-3.
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    push(Token::Kind::kNumber, std::string(src_.substr(begin, pos_ - begin)),
+         start);
+  }
+
+  void string_literal() {
+    const int start = line_;
+    ++pos_;  // opening quote
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text += c;
+        text += src_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        break;
+      }
+      if (c == '\n') ++line_;  // invalid C++, but keep line numbers sane
+      text += c;
+      ++pos_;
+    }
+    push(Token::Kind::kString, std::move(text), start);
+  }
+
+  void raw_string() {
+    const int start = line_;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    if (pos_ < src_.size()) ++pos_;  // '('
+    const std::string close = ")" + delim + "\"";
+    const std::size_t begin = pos_;
+    const std::size_t end = src_.find(close, pos_);
+    std::size_t stop = end == std::string::npos ? src_.size() : end;
+    for (std::size_t i = begin; i < stop; ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    push(Token::Kind::kString, std::string(src_.substr(begin, stop - begin)),
+         start);
+    pos_ = end == std::string::npos ? src_.size() : end + close.size();
+  }
+
+  void char_literal() {
+    ++pos_;  // opening quote
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      ++pos_;
+      if (c == '\'') break;
+    }
+    // Char literals never matter to a rule; no token emitted.
+  }
+
+  void punct() {
+    if (pos_ + 1 < src_.size() && two_char_punct(src_[pos_], src_[pos_ + 1])) {
+      push(Token::Kind::kPunct, std::string(src_.substr(pos_, 2)), line_);
+      pos_ += 2;
+      return;
+    }
+    push(Token::Kind::kPunct, std::string(1, src_[pos_]), line_);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  SourceFile out_;
+};
+
+}  // namespace
+
+SourceFile tokenize(std::string path, std::string_view content) {
+  return Scanner(std::move(path), content).run();
+}
+
+}  // namespace erel::lint

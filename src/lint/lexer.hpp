@@ -1,0 +1,60 @@
+// Token-level C++ source scanner for erel-lint (src/lint/README: the
+// project-specific invariant checker, see docs/lint.md).
+//
+// This is deliberately NOT a parser: every rule the linter enforces is
+// expressible over the token stream (identifier adjacency, brace depth,
+// string-literal contents), which keeps the checker dependency-free — no
+// libclang, no compile database — and fast enough to run on every build.
+// The scanner understands exactly as much C++ lexing as the rules need:
+// comments (kept separately, they carry exemption directives), string /
+// char / raw-string literals, preprocessor lines (skipped, so `#include
+// <ctime>` never looks like a call to `time(`), and identifiers vs.
+// punctuation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace erel::lint {
+
+struct Token {
+  enum class Kind {
+    kIdent,   // identifiers and keywords
+    kString,  // string literal; `text` holds the *contents* (no quotes)
+    kNumber,  // numeric literal (incl. suffixes)
+    kPunct,   // one operator/punctuator character sequence, e.g. "::", "->"
+  };
+
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 1;
+
+  [[nodiscard]] bool is_ident(std::string_view name) const {
+    return kind == Kind::kIdent && text == name;
+  }
+  [[nodiscard]] bool is_punct(std::string_view p) const {
+    return kind == Kind::kPunct && text == p;
+  }
+};
+
+/// A comment, verbatim without its delimiters. Inline exemption
+/// directives (see docs/lint.md) are extracted from these.
+struct Comment {
+  std::string text;
+  int line = 1;  // line the comment *starts* on
+};
+
+/// One scanned source file. `path` is the repo-relative, '/'-separated
+/// name rules report findings under.
+struct SourceFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `content`. Never fails: unterminated constructs consume to
+/// end-of-input (the linter scans its own repo, which compiles; garbage in
+/// fixtures still terminates).
+[[nodiscard]] SourceFile tokenize(std::string path, std::string_view content);
+
+}  // namespace erel::lint

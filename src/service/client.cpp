@@ -14,8 +14,14 @@ bool RemoteClient::connect(const std::string& endpoint) {
   if (!socket_.valid()) return false;
 
   const std::optional<net::Frame> hello = socket_.recv_frame();
-  if (!hello || static_cast<MsgType>(hello->type) != MsgType::kHello) {
+  if (!hello) {
     error_ = "no ereld greeting from " + endpoint;
+    socket_ = net::Socket{};
+    return false;
+  }
+  if (static_cast<MsgType>(hello->type) != MsgType::kHello) {
+    error_ = "expected hello from " + endpoint + ", got " +
+             std::string(msg_type_name(static_cast<MsgType>(hello->type)));
     socket_ = net::Socket{};
     return false;
   }

@@ -93,8 +93,11 @@ void ExperimentDaemon::on_frame(std::uint64_t client, net::Frame frame) {
       server_.stop();
       return;
     default:
-      send_error(client, 0, "unexpected message type " +
-                                std::to_string(unsigned{frame.type}));
+      send_error(client, 0,
+                 "unexpected message type " +
+                     std::string(msg_type_name(
+                         static_cast<MsgType>(frame.type))) +
+                     " (" + std::to_string(unsigned{frame.type}) + ")");
       server_.close_client(client);
       return;
   }

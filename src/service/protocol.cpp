@@ -95,6 +95,25 @@ std::optional<double> parse_double(std::string_view text) {
 
 }  // namespace
 
+// ---- message tags -------------------------------------------------------
+
+std::string_view msg_type_name(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kRunCell: return "run_cell";
+    case MsgType::kResult: return "result";
+    case MsgType::kError: return "error";
+    case MsgType::kSubscribe: return "subscribe";
+    case MsgType::kUpdate: return "update";
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kStats: return "stats";
+    case MsgType::kStatsReply: return "stats_reply";
+    case MsgType::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
 // ---- CellRequest --------------------------------------------------------
 
 std::string encode_cell_request(const CellRequest& request) {

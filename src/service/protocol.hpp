@@ -53,6 +53,12 @@ enum class MsgType : std::uint8_t {
   kShutdown = 11,   // client -> server
 };
 
+/// Human-readable tag name for error messages and logs ("run_cell",
+/// "subscribe", ...); "unknown" for values outside the enum. The switch in
+/// protocol.cpp names every enumerator, so adding a message type without
+/// teaching the codec about it is a compile warning and a lint finding.
+std::string_view msg_type_name(MsgType type);
+
 /// One sweep cell, as shipped to the daemon. `fingerprint_hex` is the
 /// *client's* content-addressed fingerprint (harness/fingerprint.hpp); the
 /// daemon recomputes its own from the decoded cell and refuses on mismatch

@@ -66,6 +66,7 @@ struct SimConfig {
   /// Per-committed-instruction observation (the old `trace` callback) is a
   /// probe now: attach a sim::Probe (e.g. trace::CaptureProbe) to the core
   /// and handle CommitEvents.
+  // erel-lint: allow(fingerprint-coverage): stats are stride-invariant
   std::uint64_t stat_stride = 0;
 
   // Exception-injection fuzzing (§4.3 recovery): flush the pipeline and

@@ -1,0 +1,12 @@
+// Exemption FAIL: three malformed directives, each a bad-exemption finding
+// (and none of them suppresses the unordered_map violations they decorate).
+#include <unordered_map>
+
+// erel-lint: allow(no-such-rule): the rule name does not exist
+std::unordered_map<int, int> first;
+
+// erel-lint: allow(nondet-container):
+std::unordered_map<int, int> second;  // empty justification above
+
+// erel-lint: forbid(nondet-container): not an allow() directive at all
+std::unordered_map<int, int> third;

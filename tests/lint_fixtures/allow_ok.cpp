@@ -1,0 +1,8 @@
+// Exemption PASS: each violation carries a well-formed inline directive,
+// once on the line above and once trailing the offending line.
+#include <unordered_map>
+
+// erel-lint: allow(nondet-container): demo of the line-above directive form
+std::unordered_map<int, int> table;
+
+std::unordered_map<int, int> mirror;  // erel-lint: allow(nondet-container): same-line form

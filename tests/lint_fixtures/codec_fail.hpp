@@ -1,0 +1,10 @@
+// protocol-complete (codec leg) FAIL: encode_orphan has no decode_orphan.
+#pragma once
+
+#include <string>
+
+struct OrphanPayload {
+  int value = 0;
+};
+
+std::string encode_orphan(const OrphanPayload& payload);

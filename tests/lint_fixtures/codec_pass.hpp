@@ -1,0 +1,13 @@
+// protocol-complete (codec leg) PASS: encode/decode come in a pair.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+struct DemoPayload {
+  int value = 0;
+};
+
+std::string encode_demo(const DemoPayload& payload);
+std::optional<DemoPayload> decode_demo(std::string_view text);

@@ -1,0 +1,8 @@
+// protocol-complete codec mention site: exercises the demo pair (but not
+// encode_orphan, so the orphan codec is also "never exercised" here).
+#include "codec_pass.hpp"
+
+bool demo_round_trips(const DemoPayload& payload) {
+  const auto out = decode_demo(encode_demo(payload));
+  return out && out->value == payload.value;
+}

@@ -1,0 +1,12 @@
+// nondet-container FAIL: hash containers in a deterministic unit.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int lookup(const std::unordered_map<std::string, int>& index,
+           const std::unordered_set<std::string>& live,
+           const std::string& key) {
+  if (live.count(key) == 0) return 0;
+  const auto it = index.find(key);
+  return it == index.end() ? 0 : it->second;
+}

@@ -1,0 +1,13 @@
+// nondet-container PASS: ordered containers only.
+#include <map>
+#include <set>
+#include <vector>
+
+int total(const std::map<int, int>& m, const std::set<int>& s,
+          const std::vector<int>& v) {
+  int sum = 0;
+  for (const auto& [k, val] : m) sum += k + val;
+  for (const int x : s) sum += x;
+  for (const int x : v) sum += x;
+  return sum;
+}

@@ -1,0 +1,11 @@
+// fingerprint-coverage FAIL: demo.strict never appears in the serializer
+// (the mention outside the function body must not count as coverage).
+#include "coverage_fail.hpp"
+
+template <typename Fn>
+void demo_fields(DemoConfig& demo, Fn&& f) {
+  f("width", demo.width);
+  f("cycles", demo.cycles);
+}
+
+bool elsewhere(const DemoConfig& demo) { return demo.strict; }

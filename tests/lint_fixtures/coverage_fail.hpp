@@ -1,0 +1,8 @@
+// fingerprint-coverage FAIL: `strict` is declared but never serialized.
+#pragma once
+
+struct DemoConfig {
+  int width = 4;
+  bool strict = false;
+  unsigned long cycles;
+};

@@ -1,0 +1,9 @@
+// fingerprint-coverage PASS: the serializer touches width, strict, cycles.
+#include "coverage_pass.hpp"
+
+template <typename Fn>
+void demo_fields(DemoConfig& demo, Fn&& f) {
+  f("width", demo.width);
+  f("strict", demo.strict);
+  f("cycles", demo.cycles);
+}

@@ -1,0 +1,16 @@
+// fingerprint-coverage PASS: every data member is serialized.
+#pragma once
+
+struct DemoConfig {
+  int width = 4;
+  bool strict = false;
+  unsigned long cycles;
+
+  // Member functions and nested types are not data members.
+  bool is_wide() const { return width > 8; }
+  struct Nested {
+    int ignored = 0;
+  };
+  static constexpr int kNotAMember = 3;
+  using Alias = int;
+};

@@ -1,0 +1,9 @@
+// protocol-complete (enum leg) fixture declaration: three message tags.
+// Mentions inside the enum body itself must not satisfy the rule.
+#pragma once
+
+enum class DemoMsg : unsigned char {
+  kAlpha = 1,
+  kBeta = 2,
+  kGamma = 3,
+};

@@ -1,0 +1,10 @@
+// protocol-complete FAIL: kGamma is never named here.
+#include "enum_decl.hpp"
+
+const char* demo_msg_name(DemoMsg m) {
+  switch (m) {
+    case DemoMsg::kAlpha: return "alpha";
+    case DemoMsg::kBeta: return "beta";
+    default: return "unknown";
+  }
+}

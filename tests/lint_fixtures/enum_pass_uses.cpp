@@ -1,0 +1,11 @@
+// protocol-complete PASS: every DemoMsg enumerator is handled.
+#include "enum_decl.hpp"
+
+const char* demo_msg_name(DemoMsg m) {
+  switch (m) {
+    case DemoMsg::kAlpha: return "alpha";
+    case DemoMsg::kBeta: return "beta";
+    case DemoMsg::kGamma: return "gamma";
+  }
+  return "unknown";
+}

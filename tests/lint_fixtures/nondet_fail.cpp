@@ -1,0 +1,14 @@
+// nondet-source FAIL: randomness and wall-clock reads.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned long sample() {
+  std::random_device entropy;                          // banned identifier
+  const long stamp = time(nullptr);                    // banned call
+  const auto tick = std::chrono::steady_clock::now();  // banned identifier
+  return entropy() + static_cast<unsigned long>(stamp) +
+         static_cast<unsigned long>(tick.time_since_epoch().count()) +
+         static_cast<unsigned long>(rand());           // banned call
+}

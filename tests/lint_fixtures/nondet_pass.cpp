@@ -1,0 +1,21 @@
+// nondet-source PASS: seeded mixing and benign look-alikes only.
+//
+// The scanner is token-level, so none of these may fire:
+//   - `last_write_time(` is one identifier, not a call to `time(`
+//   - `time` inside a string or comment: time(nullptr)
+//   - `#include <ctime>` is a skipped preprocessor line
+//   - `runtime` / `timer` merely contain the banned spelling
+#include <ctime>
+#include <cstdint>
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t last_write_time(int fd);
+
+const char* runtime_note() { return "never calls time(nullptr)"; }
+
+std::uint64_t probe(int fd) { return last_write_time(fd) + mix(7); }

@@ -1,0 +1,12 @@
+// stat-path FAIL: uppercase component, doubled slash, and a duplicate
+// registration of demo/commits.
+#include <string_view>
+
+inline constexpr std::string_view kStatDemoBad = "Demo/Cycles";
+
+template <typename Registry>
+void install(Registry& registry) {
+  registry.counter("demo//commits");
+  registry.counter("demo/commits");
+  registry.counter("demo/commits");
+}

@@ -1,0 +1,13 @@
+// stat-path PASS: lowercase '/'-separated registration literals and path
+// constants; `kLabel` has no slash so the k-constant heuristic skips it.
+#include <string_view>
+
+inline constexpr std::string_view kStatDemoCycles = "demo/cycles";
+inline constexpr std::string_view kChannelDemoHeat = "channel/demo/heat_2";
+inline constexpr std::string_view kLabel = "Demo Label (free text)";
+
+template <typename Registry>
+void install(Registry& registry) {
+  registry.counter("demo/commits");
+  registry.accum("demo/occupancy/int");
+}

@@ -1,0 +1,9 @@
+// raw-stdio FAIL: direct prints from library code.
+#include <cstdio>
+#include <iostream>
+
+void report(int value) {
+  std::printf("value=%d\n", value);
+  std::cout << "value=" << value << '\n';
+  std::fputs("done\n", stderr);
+}

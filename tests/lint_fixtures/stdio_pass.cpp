@@ -1,0 +1,8 @@
+// raw-stdio PASS: the banned names appear only in strings and comments.
+// A real module would use EREL_WARN("...") from common/log.hpp; printf in
+// this comment must not fire either.
+#include <string>
+
+std::string help_text() {
+  return "diagnostics route through common/log, never printf or std::cout";
+}

@@ -193,6 +193,148 @@ TEST(Fingerprint, AnyFieldChangeChangesTheHash) {
   EXPECT_NE(mutated([](sim::SimConfig& c) { c.flush_period = 7; }), ref);
 }
 
+/// Every canonical SimConfig field set to a value distinct from its
+/// default (cache names stay fixed: they are key labels, not values).
+sim::SimConfig maximally_non_default_config() {
+  sim::SimConfig config;
+  config.policy = PolicyKind::Basic;
+  config.phys_int = 41;
+  config.phys_fp = 43;
+  config.ros_size = 129;
+  config.lsq_size = 65;
+  config.decode_width = 7;
+  config.issue_width = 6;
+  config.commit_width = 5;
+  config.max_pending_branches = 21;
+  config.ghr_bits = 11;
+  config.fetch.width = 9;
+  config.fetch.max_blocks_per_cycle = 3;
+  config.fetch.buffer_capacity = 17;
+  config.fus.int_alu = 1;
+  config.fus.int_mul = 2;
+  config.fus.fp_alu = 3;
+  config.fus.fp_mul = 5;
+  config.fus.fp_div = 6;
+  config.fus.ld_st = 7;
+  config.memory.l1i = {"L1I", 64 * 1024, 4, 128, 2};
+  config.memory.l1d = {"L1D", 16 * 1024, 8, 32, 3};
+  config.memory.l2 = {"L2", 2048 * 1024, 16, 256, 13};
+  config.memory.memory_latency = 51;
+  config.max_cycles = 123'456'789;
+  config.max_instructions = 42;
+  config.check_oracle = false;
+  config.flush_period = 9;
+  return config;
+}
+
+TEST(CanonicalFields, MaximallyNonDefaultConfigRoundTrips) {
+  // append_canonical_fields -> config_from_canonical_fields must be the
+  // identity on every serialized field, even when all of them differ from
+  // the defaults the parser starts from.
+  const sim::SimConfig config = maximally_non_default_config();
+  std::string text;
+  sim::append_canonical_fields(config, text);
+
+  std::map<std::string, std::string, std::less<>> fields;
+  std::istringstream lines(text);
+  for (std::string line; std::getline(lines, line);) {
+    const std::size_t eq = line.find('=');
+    ASSERT_NE(eq, std::string::npos) << line;
+    EXPECT_TRUE(fields.emplace(line.substr(0, eq), line.substr(eq + 1)).second)
+        << "duplicate canonical field " << line;
+  }
+  const auto back = sim::config_from_canonical_fields(fields);
+  ASSERT_TRUE(back.has_value());
+
+  std::string text2;
+  sim::append_canonical_fields(*back, text2);
+  EXPECT_EQ(text, text2);
+
+  // Strictness both ways: a missing field and an unknown field are each a
+  // parse failure, not a silently defaulted config.
+  auto missing = fields;
+  missing.erase("ghr_bits");
+  EXPECT_FALSE(sim::config_from_canonical_fields(missing).has_value());
+  auto extra = fields;
+  extra.emplace("no_such_field", "1");
+  EXPECT_FALSE(sim::config_from_canonical_fields(extra).has_value());
+}
+
+TEST(CanonicalFields, SingleFieldDifferencesNeverShareAFingerprint) {
+  // One mutation per canonical field; all resulting fingerprints must be
+  // pairwise distinct (and distinct from the base). A collision here means
+  // two different machines would share a cache entry.
+  using Mutation = std::pair<const char*, void (*)(sim::SimConfig&)>;
+  const std::vector<Mutation> mutations = {
+      {"policy", [](sim::SimConfig& c) { c.policy = PolicyKind::Extended; }},
+      {"phys_int", [](sim::SimConfig& c) { ++c.phys_int; }},
+      {"phys_fp", [](sim::SimConfig& c) { ++c.phys_fp; }},
+      {"ros_size", [](sim::SimConfig& c) { ++c.ros_size; }},
+      {"lsq_size", [](sim::SimConfig& c) { ++c.lsq_size; }},
+      {"decode_width", [](sim::SimConfig& c) { ++c.decode_width; }},
+      {"issue_width", [](sim::SimConfig& c) { ++c.issue_width; }},
+      {"commit_width", [](sim::SimConfig& c) { ++c.commit_width; }},
+      {"max_pending_branches",
+       [](sim::SimConfig& c) { ++c.max_pending_branches; }},
+      {"ghr_bits", [](sim::SimConfig& c) { ++c.ghr_bits; }},
+      {"fetch.width", [](sim::SimConfig& c) { ++c.fetch.width; }},
+      {"fetch.max_blocks_per_cycle",
+       [](sim::SimConfig& c) { ++c.fetch.max_blocks_per_cycle; }},
+      {"fetch.buffer_capacity",
+       [](sim::SimConfig& c) { ++c.fetch.buffer_capacity; }},
+      {"fus.int_alu", [](sim::SimConfig& c) { ++c.fus.int_alu; }},
+      {"fus.int_mul", [](sim::SimConfig& c) { ++c.fus.int_mul; }},
+      {"fus.fp_alu", [](sim::SimConfig& c) { ++c.fus.fp_alu; }},
+      {"fus.fp_mul", [](sim::SimConfig& c) { ++c.fus.fp_mul; }},
+      {"fus.fp_div", [](sim::SimConfig& c) { ++c.fus.fp_div; }},
+      {"fus.ld_st", [](sim::SimConfig& c) { ++c.fus.ld_st; }},
+      {"memory.L1I.size_bytes",
+       [](sim::SimConfig& c) { c.memory.l1i.size_bytes *= 2; }},
+      {"memory.L1I.associativity",
+       [](sim::SimConfig& c) { ++c.memory.l1i.associativity; }},
+      {"memory.L1I.line_bytes",
+       [](sim::SimConfig& c) { c.memory.l1i.line_bytes *= 2; }},
+      {"memory.L1I.hit_latency",
+       [](sim::SimConfig& c) { ++c.memory.l1i.hit_latency; }},
+      {"memory.L1D.size_bytes",
+       [](sim::SimConfig& c) { c.memory.l1d.size_bytes *= 2; }},
+      {"memory.L1D.associativity",
+       [](sim::SimConfig& c) { ++c.memory.l1d.associativity; }},
+      {"memory.L1D.line_bytes",
+       [](sim::SimConfig& c) { c.memory.l1d.line_bytes *= 2; }},
+      {"memory.L1D.hit_latency",
+       [](sim::SimConfig& c) { ++c.memory.l1d.hit_latency; }},
+      {"memory.L2.size_bytes",
+       [](sim::SimConfig& c) { c.memory.l2.size_bytes *= 2; }},
+      {"memory.L2.associativity",
+       [](sim::SimConfig& c) { ++c.memory.l2.associativity; }},
+      {"memory.L2.line_bytes",
+       [](sim::SimConfig& c) { c.memory.l2.line_bytes *= 2; }},
+      {"memory.L2.hit_latency",
+       [](sim::SimConfig& c) { ++c.memory.l2.hit_latency; }},
+      {"memory.memory_latency",
+       [](sim::SimConfig& c) { ++c.memory.memory_latency; }},
+      {"max_cycles", [](sim::SimConfig& c) { ++c.max_cycles; }},
+      {"max_instructions", [](sim::SimConfig& c) { ++c.max_instructions; }},
+      {"check_oracle",
+       [](sim::SimConfig& c) { c.check_oracle = !c.check_oracle; }},
+      {"flush_period", [](sim::SimConfig& c) { ++c.flush_period; }},
+  };
+
+  const sim::SimConfig base = maximally_non_default_config();
+  std::map<std::uint64_t, const char*> seen;
+  seen.emplace(harness::fingerprint_cell("li", base, {}).value, "<base>");
+  for (const auto& [name, mutate] : mutations) {
+    sim::SimConfig c = base;
+    mutate(c);
+    const std::uint64_t fp = harness::fingerprint_cell("li", c, {}).value;
+    const auto [it, inserted] = seen.emplace(fp, name);
+    EXPECT_TRUE(inserted) << "fingerprint collision: " << name << " vs "
+                          << it->second;
+  }
+  EXPECT_EQ(seen.size(), mutations.size() + 1);
+}
+
 TEST(Fingerprint, WorkloadIdentityAndSamplingMatter) {
   const sim::SimConfig config = tiny_config();
   const std::uint64_t li = harness::fingerprint_cell("li", config, {}).value;

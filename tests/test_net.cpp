@@ -4,8 +4,10 @@
 // loopback socket round-trip.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -299,6 +301,35 @@ TEST(Protocol, SubscribeAndUpdateRoundTrip) {
   std::string torn = service::encode_update(update);
   torn.resize(torn.rfind('\n', torn.size() - 2));
   EXPECT_FALSE(service::decode_update(torn));
+}
+
+TEST(Protocol, EveryMsgTypeHasAName) {
+  // One assertion per enumerator: adding a MsgType without extending
+  // msg_type_name() (and this test) is an erel-lint protocol-complete
+  // finding, so new message types can't land half-wired.
+  using service::MsgType;
+  using service::msg_type_name;
+  EXPECT_EQ(msg_type_name(MsgType::kHello), "hello");
+  EXPECT_EQ(msg_type_name(MsgType::kRunCell), "run_cell");
+  EXPECT_EQ(msg_type_name(MsgType::kResult), "result");
+  EXPECT_EQ(msg_type_name(MsgType::kError), "error");
+  EXPECT_EQ(msg_type_name(MsgType::kSubscribe), "subscribe");
+  EXPECT_EQ(msg_type_name(MsgType::kUpdate), "update");
+  EXPECT_EQ(msg_type_name(MsgType::kPing), "ping");
+  EXPECT_EQ(msg_type_name(MsgType::kPong), "pong");
+  EXPECT_EQ(msg_type_name(MsgType::kStats), "stats");
+  EXPECT_EQ(msg_type_name(MsgType::kStatsReply), "stats_reply");
+  EXPECT_EQ(msg_type_name(MsgType::kShutdown), "shutdown");
+  EXPECT_EQ(msg_type_name(static_cast<MsgType>(0)), "unknown");
+  EXPECT_EQ(msg_type_name(static_cast<MsgType>(200)), "unknown");
+
+  // Names are distinct (they appear in error messages; two tags sharing a
+  // name would make those messages ambiguous).
+  std::vector<std::string_view> names;
+  for (std::uint8_t raw = 1; raw <= 11; ++raw)
+    names.push_back(msg_type_name(static_cast<MsgType>(raw)));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
 }
 
 TEST(Protocol, DaemonStatsRoundTrip) {
