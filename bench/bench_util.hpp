@@ -58,6 +58,7 @@ struct Options {
   std::string server;               // --server=HOST:PORT  ereld daemon
   bool smoke = false;               // --smoke         tiny CI grid
   bool power = false;               // --power         RixnerProbe columns
+  std::uint64_t irq_period = 0;     // --irq-period=N  device period rewrite
   std::string timeseries_path;      // --timeseries=PATH  per-stride CSV
   std::uint64_t stride = 0;         // --stride=N      channel stride (cycles)
   std::vector<core::PolicyKind> policies =
@@ -93,24 +94,55 @@ struct Options {
     return {threads, cache_dir, server};
   }
 
-  // Workload subsets honoring positional selection and --smoke. Trace
-  // workloads ("trace:<path>") have no register class, so they appear in
-  // workload_names() but in neither per-class subset.
+  // Workload subsets honoring positional selection, --smoke and
+  // --irq-period. Trace workloads ("trace:<path>") have no register class,
+  // so they appear in workload_names() but in neither per-class subset.
   [[nodiscard]] std::vector<std::string> int_names() const {
-    if (!positional.empty()) return class_subset(/*fp=*/false);
-    return smoke ? std::vector<std::string>{"li"} : benchutil::int_names();
+    if (!positional.empty())
+      return apply_irq_period(class_subset(/*fp=*/false), /*append=*/true);
+    return apply_irq_period(
+        smoke ? std::vector<std::string>{"li"} : benchutil::int_names(),
+        /*append=*/true);
   }
   [[nodiscard]] std::vector<std::string> fp_names() const {
-    if (!positional.empty()) return class_subset(/*fp=*/true);
-    return smoke ? std::vector<std::string>{"swim"} : benchutil::fp_names();
+    if (!positional.empty())
+      return apply_irq_period(class_subset(/*fp=*/true), /*append=*/false);
+    return apply_irq_period(
+        smoke ? std::vector<std::string>{"swim"} : benchutil::fp_names(),
+        /*append=*/false);
   }
   [[nodiscard]] std::vector<std::string> workload_names() const {
-    if (!positional.empty()) return positional;
-    if (!smoke) return workloads::workload_names();
-    return {"li", "swim"};
+    if (!positional.empty()) return apply_irq_period(positional, true);
+    if (!smoke) return apply_irq_period(workloads::workload_names(), true);
+    return apply_irq_period({"li", "swim"}, true);
   }
 
  private:
+  /// --irq-period=N sweep axis: rewrites the interrupt kernels in `names`
+  /// to "timer@N" / "echo@N" (any existing @suffix is replaced); with
+  /// `append`, a selection containing no interrupt kernel gains both, so
+  /// `--smoke --irq-period=350` exercises them without naming them. The
+  /// interrupt kernels are integer-class, hence append=false for the FP
+  /// subset.
+  [[nodiscard]] std::vector<std::string> apply_irq_period(
+      std::vector<std::string> names, bool append) const {
+    if (irq_period == 0) return names;
+    const std::string suffix = "@" + std::to_string(irq_period);
+    bool any = false;
+    for (std::string& name : names) {
+      const std::string base = name.substr(0, name.find('@'));
+      if (base == "timer" || base == "echo") {
+        name = base + suffix;
+        any = true;
+      }
+    }
+    if (append && !any) {
+      names.push_back("timer" + suffix);
+      names.push_back("echo" + suffix);
+    }
+    return names;
+  }
+
   [[nodiscard]] std::vector<std::string> class_subset(bool fp) const {
     std::vector<std::string> names;
     for (const std::string& name : positional) {
@@ -133,6 +165,9 @@ inline void usage(const char* argv0) {
       "  --sample-period=N  --sample-warmup=N  --sample-detail=N\n"
       "  --policies=A,B     policy subset (conv,basic,extended)\n"
       "  --power            RixnerProbe energy/ED^2 metric columns\n"
+      "  --irq-period=N     device period for the interrupt kernels\n"
+      "                     (rewrites timer/echo to timer@N/echo@N and adds\n"
+      "                     them to selections that lack them; N >= 32)\n"
       "  --timeseries=PATH  per-stride occupancy channel CSV (fig3)\n"
       "  --stride=N         channel stride in cycles (default 1000)\n"
       "  --csv=PATH         write the ResultSet as CSV\n"
@@ -152,6 +187,7 @@ inline void list_workloads() {
     std::printf("  %-10s %-4s %s\n", w.name.c_str(), w.is_fp ? "fp" : "int",
                 w.description.c_str());
   std::printf(
+      "  timer@N, echo@N the interrupt kernels at device period N (N >= 32)\n"
       "  trace:<path>    replay the program embedded in a recorded trace\n");
 }
 
@@ -196,6 +232,16 @@ inline Options parse(int argc, char** argv) {
       opts.smoke = true;
     } else if (arg == "--power") {
       opts.power = true;
+    } else if (matches("--irq-period")) {
+      opts.irq_period =
+          std::strtoull(value("--irq-period").c_str(), nullptr, 10);
+      if (opts.irq_period < 32) {
+        std::fprintf(stderr,
+                     "%s: --irq-period must be >= 32 (shorter periods "
+                     "re-enter the interrupt handler before it returns)\n",
+                     argv[0]);
+        std::exit(2);
+      }
     } else if (matches("--timeseries")) {
       opts.timeseries_path = value("--timeseries");
     } else if (matches("--stride")) {

@@ -58,13 +58,22 @@ void ArchState::set_fp_reg(unsigned idx, std::uint64_t value) {
 
 StepInfo ArchState::step() {
   StepInfo info;
-  info.pc = pc_;
   if (halted_) {
+    info.pc = pc_;
     info.halted = true;
     info.next_pc = pc_;
     info.kind = MicroKind::kHalt;
     return info;
   }
+  // Retirement-boundary interrupt delivery: icount_ instructions have
+  // retired, the one about to execute has not. The pipeline's commit stage
+  // performs the same check at the same boundary (head of the ROS), so both
+  // engines redirect to the handler before the same instruction.
+  if (!dev_.quiet()) {
+    dev_.sync(icount_);
+    if (dev_.deliverable()) pc_ = dev_.deliver(pc_);
+  }
+  info.pc = pc_;
   if (decoded_ != nullptr && !code_dirty_ && decoded_->contains(pc_)) {
     step_decoded(decoded_->at(pc_), info);
   } else {
@@ -94,9 +103,16 @@ void ArchState::step_decoded(const MicroOp& mop, StepInfo& info) {
       info.halted = true;
       info.next_pc = pc_;
       return;
+    case MicroKind::kIret:
+      next_pc = dev_.iret();
+      break;
     case MicroKind::kLoad: {
       const std::uint64_t addr = a + static_cast<std::uint64_t>(mop.simm);
-      std::uint64_t value = mem_.read(addr, mop.mem_bytes);
+      // MMIO accesses pass the retirement boundary (icount_ was already
+      // incremented for this instruction, hence the -1).
+      std::uint64_t value = dev::Machine::is_mmio(addr)
+                                ? dev_.read(addr, mop.mem_bytes, icount_ - 1)
+                                : mem_.read(addr, mop.mem_bytes);
       if (mop.sext32) value = static_cast<std::uint64_t>(sext(value, 32));
       info.is_load = true;
       info.mem_addr = addr;
@@ -117,8 +133,12 @@ void ArchState::step_decoded(const MicroOp& mop, StepInfo& info) {
       info.mem_addr = addr;
       info.mem_bytes = mop.mem_bytes;
       info.store_value = b;
-      note_store(addr, mop.mem_bytes);
-      mem_.write(addr, b, mop.mem_bytes);
+      if (dev::Machine::is_mmio(addr)) {
+        dev_.write(addr, b, mop.mem_bytes, icount_ - 1);
+      } else {
+        note_store(addr, mop.mem_bytes);
+        mem_.write(addr, b, mop.mem_bytes);
+      }
       break;
     }
     case MicroKind::kCondBranch:
@@ -192,9 +212,18 @@ void ArchState::step_bytes(StepInfo& info) {
     return;
   }
 
+  if (inst.is_iret()) {
+    next_pc = dev_.iret();
+    pc_ = next_pc;
+    info.next_pc = next_pc;
+    return;
+  }
+
   if (inst.is_load()) {
     const std::uint64_t addr = isa::effective_address(a, inst.imm);
-    std::uint64_t value = mem_.read(addr, inst.mem_bytes());
+    std::uint64_t value = dev::Machine::is_mmio(addr)
+                              ? dev_.read(addr, inst.mem_bytes(), icount_ - 1)
+                              : mem_.read(addr, inst.mem_bytes());
     if (inst.op == Opcode::LW) value = static_cast<std::uint64_t>(sext(value, 32));
     info.is_load = true;
     info.mem_addr = addr;
@@ -213,8 +242,12 @@ void ArchState::step_bytes(StepInfo& info) {
     info.mem_addr = addr;
     info.mem_bytes = inst.mem_bytes();
     info.store_value = b;
-    note_store(addr, inst.mem_bytes());
-    mem_.write(addr, b, inst.mem_bytes());
+    if (dev::Machine::is_mmio(addr)) {
+      dev_.write(addr, b, inst.mem_bytes(), icount_ - 1);
+    } else {
+      note_store(addr, inst.mem_bytes());
+      mem_.write(addr, b, inst.mem_bytes());
+    }
   } else if (inst.is_cond_branch()) {
     if (isa::branch_taken(inst.op, a, b))
       next_pc = pc_ + static_cast<std::uint64_t>(std::int64_t{inst.imm} * 4);
@@ -274,7 +307,7 @@ std::uint64_t ArchState::run_decoded(std::uint64_t max_steps) {
   static const void* const kDispatch[] = {
       &&lbl_kAlu,        &&lbl_kLoad,         &&lbl_kStore,
       &&lbl_kCondBranch, &&lbl_kDirectJump,   &&lbl_kIndirectJump,
-      &&lbl_kHalt,       &&lbl_kIllegal};
+      &&lbl_kHalt,       &&lbl_kIllegal,      &&lbl_kIret};
 #define EREL_CASE(k) lbl_##k:
 #define EREL_DISPATCH()                                    \
   {                                                        \
@@ -314,7 +347,14 @@ std::uint64_t ArchState::run_decoded(std::uint64_t max_steps) {
       EREL_CASE(kLoad) {
         const std::uint64_t addr = src_value(mop->src1, mop->inst.rs1) +
                                    static_cast<std::uint64_t>(mop->simm);
-        std::uint64_t value = mem_.read(addr, mop->mem_bytes);
+        // Device reads are pure and never change deliverability mid-window
+        // (the run() budget already stops at the next timer/RX deadline),
+        // so the dispatch loop continues inline. The boundary is the count
+        // of instructions retired before this one.
+        std::uint64_t value =
+            dev::Machine::is_mmio(addr)
+                ? dev_.read(addr, mop->mem_bytes, icount_ + executed - 1)
+                : mem_.read(addr, mop->mem_bytes);
         if (mop->sext32) value = static_cast<std::uint64_t>(sext(value, 32));
         if (mop->has_dst) {
           if (mop->dst == RegClass::Int) x_[mop->inst.rd] = value;
@@ -327,6 +367,14 @@ std::uint64_t ArchState::run_decoded(std::uint64_t max_steps) {
         const std::uint64_t addr = src_value(mop->src1, mop->inst.rs1) +
                                    static_cast<std::uint64_t>(mop->simm);
         const std::uint64_t b = src_value(mop->src2, mop->inst.rs2);
+        if (dev::Machine::is_mmio(addr)) {
+          // A device write can arm timers or re-enable delivery: hand
+          // control back so run() re-evaluates its deadline budget and the
+          // pending lines at this boundary.
+          dev_.write(addr, b, mop->mem_bytes, icount_ + executed - 1);
+          pc += 4;
+          goto done;
+        }
         note_store(addr, mop->mem_bytes);
         mem_.write(addr, b, mop->mem_bytes);
         pc += 4;
@@ -366,6 +414,13 @@ std::uint64_t ArchState::run_decoded(std::uint64_t max_steps) {
         halted_ = true;
         goto done;
       }
+      EREL_CASE(kIret) {
+        // Returning from the handler restores the master enable: hand
+        // control back so run() delivers any interrupt latched meanwhile
+        // before the resumed instruction executes.
+        pc = dev_.iret();
+        goto done;
+      }
 
 #if !EREL_COMPUTED_GOTO
     }
@@ -383,8 +438,20 @@ done:
 std::uint64_t ArchState::run(std::uint64_t max_steps) {
   std::uint64_t steps = 0;
   while (!halted_ && steps < max_steps) {
+    std::uint64_t budget = max_steps - steps;
+    if (!dev_.quiet()) {
+      // Deliver at this retirement boundary, then cap the uninterrupted
+      // dispatch window at the next timer/RX deadline: after sync() every
+      // armed deadline is strictly in the future, so the budget stays >= 1
+      // and the loop re-checks delivery exactly when an event can fire.
+      dev_.sync(icount_);
+      if (dev_.deliverable()) pc_ = dev_.deliver(pc_);
+      const std::uint64_t next = dev_.next_event();
+      if (next != ~std::uint64_t{0} && next - icount_ < budget)
+        budget = next - icount_;
+    }
     if (decoded_ != nullptr && !code_dirty_ && decoded_->contains(pc_)) {
-      steps += run_decoded(max_steps - steps);
+      steps += run_decoded(budget);
     } else {
       step();
       ++steps;

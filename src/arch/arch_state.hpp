@@ -19,6 +19,7 @@
 #include "arch/decoded_program.hpp"
 #include "arch/memory.hpp"
 #include "arch/program.hpp"
+#include "dev/machine.hpp"
 #include "isa/isa.hpp"
 
 namespace erel::arch {
@@ -89,6 +90,14 @@ class ArchState {
   SparseMemory& memory() { return mem_; }
   const SparseMemory& memory() const { return mem_; }
 
+  /// The memory-mapped device model (timer + console + interrupt
+  /// controller). Loads/stores into its window route here instead of
+  /// memory; pending interrupts are delivered at retirement boundaries
+  /// (before the next instruction executes), identically on the
+  /// byte-accurate, decoded and pipelined engines.
+  dev::Machine& device() { return dev_; }
+  const dev::Machine& device() const { return dev_; }
+
   /// Forces the PC (used by exception-replay tests).
   void set_pc(std::uint64_t pc) { pc_ = pc; }
 
@@ -138,6 +147,7 @@ class ArchState {
   bool halted_ = false;
   const DecodedProgram* decoded_ = nullptr;  // non-owning
   bool code_dirty_ = false;
+  dev::Machine dev_;
 };
 
 /// Loads `program` into `mem` (shared by ArchState and the timing simulator).

@@ -37,6 +37,7 @@ Checkpoint capture(const ArchState& state) {
     ckpt.int_regs[r] = state.int_reg(r);
     ckpt.fp_regs[r] = state.fp_reg(r);
   }
+  ckpt.dev = state.device().save();
   capture_memory(state.memory(), ckpt);
   return ckpt;
 }
@@ -46,6 +47,7 @@ void restore(const Checkpoint& ckpt, ArchState& state) {
     state.set_int_reg(r, ckpt.int_regs[r]);
     state.set_fp_reg(r, ckpt.fp_regs[r]);
   }
+  state.device().load(ckpt.dev);
   restore_memory(ckpt, state.memory());
   state.set_pc(ckpt.pc);
   state.set_resume_point(ckpt.icount, ckpt.halted);

@@ -32,6 +32,11 @@ struct Checkpoint {
   bool halted = false;
   std::array<std::uint64_t, isa::kNumLogicalRegs> int_regs{};
   std::array<std::uint64_t, isa::kNumLogicalRegs> fp_regs{};
+  /// Device state words (dev::Machine::save): interrupt-controller, timer
+  /// and console state are architectural — a run resumed mid-handler must
+  /// deliver the same interrupts at the same boundaries as the full run.
+  /// Empty means reset state (checkpoints from pre-device files).
+  std::vector<std::uint64_t> dev;
   std::vector<PageImage> pages;  // sorted by base address
 
   bool operator==(const Checkpoint&) const = default;

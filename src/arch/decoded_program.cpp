@@ -6,6 +6,7 @@ MicroKind DecodedProgram::kind_of(const isa::DecodedInst& inst) {
   if (inst.op == isa::Opcode::ILLEGAL) return MicroKind::kIllegal;
   const isa::OpInfo& info = inst.info();
   if (info.flags & isa::kFlagHalt) return MicroKind::kHalt;
+  if (info.flags & isa::kFlagIret) return MicroKind::kIret;
   if (info.flags & isa::kFlagLoad) return MicroKind::kLoad;
   if (info.flags & isa::kFlagStore) return MicroKind::kStore;
   if (info.flags & isa::kFlagCondBranch) return MicroKind::kCondBranch;

@@ -39,6 +39,7 @@ enum class MicroKind : std::uint8_t {
   kIndirectJump,  // JALR
   kHalt,
   kIllegal,
+  kIret,          // interrupt return (redirects to the device EPC)
 };
 
 /// One pre-decoded instruction. `inst` is the exact isa::decode() result

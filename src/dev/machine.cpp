@@ -1,0 +1,200 @@
+#include "dev/machine.hpp"
+
+#include "common/log.hpp"
+
+namespace erel::dev {
+
+namespace {
+
+/// Deterministic RX byte stream: a synthetic "typist" cycling the lowercase
+/// alphabet with a stride, so echoed checksums are nontrivial.
+std::uint8_t rx_byte(std::uint64_t seq) {
+  return static_cast<std::uint8_t>('a' + (seq * 7 + 3) % 26);
+}
+
+}  // namespace
+
+void Machine::sync(std::uint64_t now) {
+  if (pit_period_ != 0 && pit_next_ <= now) {
+    // Closed form instead of a loop: long fast-forwards (sampled planning)
+    // can cross many periods between syncs.
+    const std::uint64_t fires = (now - pit_next_) / pit_period_ + 1;
+    pit_ticks_ += fires;
+    pit_next_ += fires * pit_period_;
+    pending_ |= kIrqPit;
+  }
+  if (rx_period_ != 0) {
+    while (rx_next_ <= now) {
+      if (rx_fifo_.size() < kRxFifoCapacity) {
+        rx_fifo_.push_back(rx_byte(rx_seq_));
+      } else {
+        ++rx_dropped_;
+      }
+      ++rx_seq_;
+      rx_next_ += rx_period_;
+      pending_ |= kIrqRx;
+    }
+  }
+}
+
+std::uint64_t Machine::deliver(std::uint64_t interrupted_pc) {
+  EREL_CHECK(deliverable(), "deliver() with no deliverable interrupt");
+  const std::uint64_t takeable = pending_ & mask_;
+  const std::uint64_t line = takeable & (~takeable + 1);  // lowest set bit
+  pending_ &= ~line;
+  std::uint64_t index = 0;
+  for (std::uint64_t bit = line; bit > 1; bit >>= 1) ++index;
+  cause_ = index;
+  epc_ = interrupted_pc;
+  prev_mie_ = mie_;
+  mie_ = false;
+  return vector_;
+}
+
+std::uint64_t Machine::iret() {
+  mie_ = prev_mie_;
+  return epc_;
+}
+
+std::uint64_t Machine::next_event() const {
+  std::uint64_t next = ~std::uint64_t{0};
+  if (pit_period_ != 0 && pit_next_ < next) next = pit_next_;
+  if (rx_period_ != 0 && rx_next_ < next) next = rx_next_;
+  return next;
+}
+
+std::uint64_t Machine::reg_value(std::uint64_t offset) const {
+  switch (offset) {
+    case kIntcStatus: return pending_;
+    case kIntcEnable: return mie_ ? 1 : 0;
+    case kIntcMask: return mask_;
+    case kIntcVector: return vector_;
+    case kIntcEpc: return epc_;
+    case kIntcCause: return cause_;
+    case kPitReload: return pit_period_;
+    case kPitCount:
+      return pit_period_ == 0 ? 0 : pit_next_;  // absolute next deadline
+    case kPitTicks: return pit_ticks_;
+    case kConTxCount: return tx_count_;
+    case kConTxSum: return tx_sum_;
+    case kConRxPeriod: return rx_period_;
+    case kConRxHead:
+      return rx_fifo_.empty() ? ~std::uint64_t{0} : rx_fifo_.front();
+    case kConRxCount: return rx_fifo_.size();
+    case kConRxDropped: return rx_dropped_;
+    default:
+      return 0;  // unmapped / write-only offsets read as zero
+  }
+}
+
+std::uint64_t Machine::read(std::uint64_t addr, unsigned size,
+                            std::uint64_t now) {
+  EREL_CHECK(is_mmio(addr) && addr % size == 0,
+             "misaligned device read at ", addr);
+  sync(now);
+  const std::uint64_t word = reg_value((addr - kMmioBase) & ~std::uint64_t{7});
+  if (size == 8) return word;
+  const unsigned shift = 8 * static_cast<unsigned>(addr & 7);
+  const std::uint64_t mask = (std::uint64_t{1} << (8 * size)) - 1;
+  return (word >> shift) & mask;
+}
+
+void Machine::write(std::uint64_t addr, std::uint64_t value, unsigned size,
+                    std::uint64_t now) {
+  EREL_CHECK(is_mmio(addr), "device write outside the MMIO window: ", addr);
+  EREL_CHECK(size == 8 && addr % 8 == 0,
+             "device registers are 64-bit: use an aligned sd (pc-agnostic "
+             "program bug) at address ", addr);
+  armed_ = true;
+  sync(now);
+  switch (addr - kMmioBase) {
+    case kIntcEnable:
+      mie_ = (value & 1) != 0;
+      break;
+    case kIntcMask:
+      mask_ = value;
+      break;
+    case kIntcVector:
+      vector_ = value;
+      break;
+    case kIntcEpc:
+      epc_ = value;
+      break;
+    case kIntcAck:
+      pending_ &= ~value;
+      break;
+    case kPitReload:
+      pit_period_ = value;
+      pit_next_ = value == 0 ? 0 : now + value;
+      break;
+    case kConTx:
+      ++tx_count_;
+      tx_sum_ = tx_sum_ * 31 + (value & 0xFF);
+      break;
+    case kConRxPeriod:
+      rx_period_ = value;
+      rx_next_ = value == 0 ? 0 : now + value;
+      break;
+    case kConRxPop:
+      if (!rx_fifo_.empty()) rx_fifo_.pop_front();
+      break;
+    default:
+      break;  // read-only / unmapped offsets ignore writes
+  }
+}
+
+std::vector<std::uint64_t> Machine::save() const {
+  std::vector<std::uint64_t> words;
+  words.reserve(18 + rx_fifo_.size());
+  words.push_back(armed_ ? 1 : 0);
+  words.push_back(mie_ ? 1 : 0);
+  words.push_back(prev_mie_ ? 1 : 0);
+  words.push_back(mask_);
+  words.push_back(vector_);
+  words.push_back(epc_);
+  words.push_back(cause_);
+  words.push_back(pending_);
+  words.push_back(pit_period_);
+  words.push_back(pit_next_);
+  words.push_back(pit_ticks_);
+  words.push_back(tx_count_);
+  words.push_back(tx_sum_);
+  words.push_back(rx_period_);
+  words.push_back(rx_next_);
+  words.push_back(rx_seq_);
+  words.push_back(rx_dropped_);
+  words.push_back(rx_fifo_.size());
+  for (const std::uint8_t b : rx_fifo_) words.push_back(b);
+  return words;
+}
+
+void Machine::load(const std::vector<std::uint64_t>& words) {
+  *this = Machine{};
+  if (words.empty()) return;  // pre-device checkpoint: reset state
+  EREL_CHECK(words.size() >= 18, "malformed device checkpoint section");
+  std::size_t i = 0;
+  armed_ = words[i++] != 0;
+  mie_ = words[i++] != 0;
+  prev_mie_ = words[i++] != 0;
+  mask_ = words[i++];
+  vector_ = words[i++];
+  epc_ = words[i++];
+  cause_ = words[i++];
+  pending_ = words[i++];
+  pit_period_ = words[i++];
+  pit_next_ = words[i++];
+  pit_ticks_ = words[i++];
+  tx_count_ = words[i++];
+  tx_sum_ = words[i++];
+  rx_period_ = words[i++];
+  rx_next_ = words[i++];
+  rx_seq_ = words[i++];
+  rx_dropped_ = words[i++];
+  const std::uint64_t fifo_size = words[i++];
+  EREL_CHECK(fifo_size <= kRxFifoCapacity && words.size() == i + fifo_size,
+             "malformed device checkpoint section");
+  for (std::uint64_t k = 0; k < fifo_size; ++k)
+    rx_fifo_.push_back(static_cast<std::uint8_t>(words[i + k]));
+}
+
+}  // namespace erel::dev

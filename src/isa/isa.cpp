@@ -100,6 +100,7 @@ constexpr std::array<OpInfo, kNumOpcodes> build_table() {
   set(Opcode::JALR, {"jalr", I, F::IntAlu, 1, Int, Int, None,
                      kFlagIndirectJump | kFlagCall, 0});
   set(Opcode::HALT, {"halt", N, F::None, 1, None, None, None, kFlagHalt, 0});
+  set(Opcode::IRET, {"iret", N, F::None, 1, None, None, None, kFlagIret, 0});
   return t;
 }
 

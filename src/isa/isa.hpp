@@ -68,6 +68,7 @@ enum class Opcode : std::uint8_t {
   BEQ, BNE, BLT, BGE, BLTU, BGEU,
   JAL, JALR,
   HALT,
+  IRET,  // return from interrupt: resume at the device EPC, restore enable
   kCount,
 };
 inline constexpr unsigned kNumOpcodes = static_cast<unsigned>(Opcode::kCount);
@@ -81,6 +82,7 @@ enum : std::uint32_t {
   kFlagIndirectJump = 1u << 4, // JALR: target known at execute
   kFlagHalt = 1u << 5,
   kFlagCall = 1u << 6,         // pushes return address (JAL/JALR with rd=ra)
+  kFlagIret = 1u << 7,         // interrupt return (serializing, redirects pc)
 };
 
 /// Static description of one opcode.
@@ -145,6 +147,7 @@ struct DecodedInst {
     return is_cond_branch() || is_direct_jump() || is_indirect_jump();
   }
   [[nodiscard]] bool is_halt() const { return info().flags & kFlagHalt; }
+  [[nodiscard]] bool is_iret() const { return info().flags & kFlagIret; }
   [[nodiscard]] unsigned mem_bytes() const { return info().mem_bytes; }
 };
 

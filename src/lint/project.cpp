@@ -72,6 +72,7 @@ RuleConfig erel_project_rules() {
   // mixing (sim/sampling.cpp) is fine because it uses none of the banned
   // constructs.
   rules.deterministic_tus = {
+      "src/dev/machine.cpp",          "src/dev/machine.hpp",
       "src/harness/fingerprint.cpp", "src/harness/fingerprint.hpp",
       "src/harness/result_cache.cpp", "src/harness/results.cpp",
       "src/harness/results.hpp",      "src/service/protocol.cpp",

@@ -122,6 +122,8 @@ Core::Core(const sim::SimConfig& config, const arch::Program& program,
   }
   fetch_.set_pc(checkpoint.pc);
   halted_ = checkpoint.halted;
+  dev_.load(checkpoint.dev);
+  icount_base_ = checkpoint.icount;
   // Seed the committed register values into the architectural versions the
   // reset-state rename map points at (identity mapping; all marked written
   // and ready at init, so write_value only installs the values).
@@ -343,7 +345,9 @@ void Core::execute(RosEntry& e) {
       rec.c2 != RegClass::None ? operand_value(rec.c2, rec.p2) : 0;
   const unsigned latency = inst.info().latency;
 
-  if (inst.op == Opcode::ILLEGAL || inst.is_halt()) {
+  if (inst.op == Opcode::ILLEGAL || inst.is_halt() || inst.is_iret()) {
+    // Control-state instructions carry no operands and take effect at
+    // commit (IRET redirects via exception_flush there).
     completions_.schedule(cycle_ + 1, e.seq, e.uid);
     return;
   }
@@ -470,6 +474,27 @@ void Core::phase_memory() {
       continue;
     }
     RosEntry& e = *entry;
+    if (!e.fault && dev::Machine::is_mmio(lsq_.get(seq).addr)) {
+      // Device loads are uncached, side-effect-free reads that execute only
+      // at the retirement head: the head is provably correct-path (an older
+      // mispredicted branch must resolve before leaving the ROS), all older
+      // stores have committed (no LSQ forwarding to consider), and the
+      // retirement boundary is frozen while the load sits at the head, so
+      // the value matches the functional oracle's exactly.
+      if (seq != ros_.head_seq()) {
+        ++i;  // wrong-path or not yet oldest: wait (squash or head arrival)
+        continue;
+      }
+      const LsqEntry& le = lsq_.get(seq);
+      const std::uint64_t raw =
+          dev_.read(le.addr, le.size, icount_base_ + committed_);
+      e.result = finish_load_value(e.inst.op, raw);
+      e.has_result = true;
+      completions_.schedule(cycle_ + dev::Machine::kMmioLatency, seq, e.uid);
+      pending_loads_.erase(pending_loads_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
     std::uint64_t forwarded = 0;
     const LoadStatus status = lsq_.query_load(seq, &forwarded);
     if (status == LoadStatus::Wait) {
@@ -585,6 +610,22 @@ void Core::phase_commit() {
   unsigned committed_now = 0;
   while (committed_now < config_.commit_width && !ros_.empty()) {
     RosEntry& e = ros_.head();
+
+    // Retirement-boundary interrupt delivery, before the head executes
+    // architecturally: `committed_` older instructions have retired and the
+    // head is the oldest correct-path instruction, so EPC = head pc mirrors
+    // ArchState::step's check at the same boundary. The flush squashes the
+    // head and everything younger — genuine wrong-path work the release
+    // policies must roll back (map table, free list, LUsT, release queue).
+    if (!dev_.quiet()) {
+      dev_.sync(icount_base_ + committed_);
+      if (dev_.deliverable()) {
+        const std::uint64_t vec = dev_.deliver(e.pc);
+        exception_flush(vec);
+        return;
+      }
+    }
+
     if (e.state != EntryState::Completed) break;
 
     // Injected exception: flush everything (including the head) and
@@ -613,19 +654,28 @@ void Core::phase_commit() {
     }
     if (oracle_) check_oracle(e, mem_entry);
     if (e.inst.is_store()) {
-      if (decoded_ != nullptr && decoded_->covers(popped.addr, popped.size)) {
-        // Committed store into the code image: the pre-decoded records are
-        // stale from here on, so fetch reverts to byte-accurate decode (the
-        // oracle notices the same store itself when it replays it).
-        fetch_.set_decoded(nullptr);
-      }
-      mem_.write(popped.addr, popped.data, popped.size);
-      const unsigned latency =
-          hierarchy_.dstore(popped.addr);  // commit-time D-cache update
-      if (has_probes_) {
-        const sim::CacheAccessEvent ev{popped.addr, /*is_write=*/true,
-                                       latency, cycle_};
-        for (sim::Probe* probe : probes_) probe->on_cache_access(ev);
+      if (dev::Machine::is_mmio(popped.addr)) {
+        // Device stores take effect at retirement (uncached, no hierarchy
+        // traffic): the same boundary the oracle replayed them at.
+        dev_.write(popped.addr, popped.data, popped.size,
+                   icount_base_ + committed_);
+      } else {
+        if (decoded_ != nullptr &&
+            decoded_->covers(popped.addr, popped.size)) {
+          // Committed store into the code image: the pre-decoded records
+          // are stale from here on, so fetch reverts to byte-accurate
+          // decode (the oracle notices the same store itself when it
+          // replays it).
+          fetch_.set_decoded(nullptr);
+        }
+        mem_.write(popped.addr, popped.data, popped.size);
+        const unsigned latency =
+            hierarchy_.dstore(popped.addr);  // commit-time D-cache update
+        if (has_probes_) {
+          const sim::CacheAccessEvent ev{popped.addr, /*is_write=*/true,
+                                         latency, cycle_};
+          for (sim::Probe* probe : probes_) probe->on_cache_access(ev);
+        }
       }
     }
     rename_.on_commit(e.rec, e.seq, cycle_);
@@ -637,10 +687,19 @@ void Core::phase_commit() {
                                 &e.rec};
       for (sim::Probe* probe : probes_) probe->on_commit(ev);
     }
+    const bool was_iret = e.inst.is_iret();
     ros_.pop_head();
     ++committed_;
     ++committed_now;
     last_commit_cycle_ = cycle_;
+    if (was_iret) {
+      // IRET retires like any instruction, then redirects to the saved EPC
+      // and squashes the younger sequential-path instructions behind it —
+      // they were fetched down the fall-through and are genuinely
+      // wrong-path (the oracle redirects itself when it replays the IRET).
+      exception_flush(dev_.iret());
+      return;
+    }
   }
 }
 

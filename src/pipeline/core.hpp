@@ -25,6 +25,7 @@
 #include "branch/ras.hpp"
 #include "core/rename_unit.hpp"
 #include "core/types.hpp"
+#include "dev/machine.hpp"
 #include "mem/hierarchy.hpp"
 #include "pipeline/fetch.hpp"
 #include "pipeline/fu_pool.hpp"
@@ -196,6 +197,17 @@ class Core final : public core::PipelineHooks {
   std::uint64_t next_uid_ = 1;
 
   std::unique_ptr<arch::ArchState> oracle_;
+
+  // The timing side's own device instance (the oracle carries another; both
+  // see the same MMIO operations at the same retirement boundaries, so they
+  // stay bit-identical). Interrupts are delivered in phase_commit at the
+  // head of the ROS — the oldest not-yet-retired, provably correct-path
+  // instruction — mirroring ArchState::step's boundary exactly.
+  dev::Machine dev_;
+  // Retirement boundary = icount_base_ + committed_ (nonzero when resumed
+  // from a checkpoint, so device time continues from the functional
+  // fast-forward instead of restarting at zero).
+  std::uint64_t icount_base_ = 0;
 
   std::uint64_t cycle_ = 0;
   std::uint64_t committed_ = 0;

@@ -1,5 +1,7 @@
 #include "sim/warm_state.hpp"
 
+#include "dev/machine.hpp"
+
 namespace erel::sim {
 
 void WarmState::observe(const arch::StepInfo& info) {
@@ -12,10 +14,13 @@ void WarmState::observe(const arch::StepInfo& info) {
 
   switch (info.kind) {
     case arch::MicroKind::kLoad:
-      hierarchy.dload(info.mem_addr);
+      // Device accesses are uncached in the pipeline (fixed MMIO latency,
+      // no hierarchy traffic), so warming skips them the same way.
+      if (!dev::Machine::is_mmio(info.mem_addr)) hierarchy.dload(info.mem_addr);
       return;
     case arch::MicroKind::kStore:
-      hierarchy.dstore(info.mem_addr);
+      if (!dev::Machine::is_mmio(info.mem_addr))
+        hierarchy.dstore(info.mem_addr);
       return;
     case arch::MicroKind::kCondBranch: {
       const bool taken = info.next_pc != info.pc + 4;
@@ -41,6 +46,8 @@ void WarmState::observe(const arch::StepInfo& info) {
     case arch::MicroKind::kAlu:
     case arch::MicroKind::kHalt:
     case arch::MicroKind::kIllegal:
+    case arch::MicroKind::kIret:  // not a predicted branch: fetch runs past
+                                  // it until the commit-time flush redirects
       return;
   }
 }

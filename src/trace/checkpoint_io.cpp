@@ -11,12 +11,14 @@ namespace erel::trace {
 void save_checkpoint(const std::string& path, const arch::Checkpoint& ckpt) {
   std::vector<std::uint8_t> buf;
   buf.insert(buf.end(), kCheckpointMagic.begin(), kCheckpointMagic.end());
-  put_fixed32(buf, kFormatVersion);
+  put_fixed32(buf, kCheckpointVersion);
   put_uvarint(buf, ckpt.pc);
   put_uvarint(buf, ckpt.icount);
   buf.push_back(ckpt.halted ? 1 : 0);
   for (const std::uint64_t v : ckpt.int_regs) put_uvarint(buf, v);
   for (const std::uint64_t v : ckpt.fp_regs) put_uvarint(buf, v);
+  put_uvarint(buf, ckpt.dev.size());
+  for (const std::uint64_t v : ckpt.dev) put_uvarint(buf, v);
   put_uvarint(buf, ckpt.pages.size());
   for (const arch::Checkpoint::PageImage& page : ckpt.pages) {
     EREL_CHECK(page.bytes.size() == arch::SparseMemory::kPageBytes);
@@ -46,7 +48,7 @@ arch::Checkpoint load_checkpoint(const std::string& path) {
   EREL_CHECK(c.ok && magic == kCheckpointMagic, "not a checkpoint file: ",
              path);
   const std::uint32_t version = c.fixed32();
-  EREL_CHECK(c.ok && version == kFormatVersion,
+  EREL_CHECK(c.ok && (version == 1 || version == kCheckpointVersion),
              "unsupported checkpoint version ", version, " in ", path);
 
   arch::Checkpoint ckpt;
@@ -55,6 +57,13 @@ arch::Checkpoint load_checkpoint(const std::string& path) {
   ckpt.halted = c.u8() != 0;
   for (std::uint64_t& v : ckpt.int_regs) v = c.uvarint();
   for (std::uint64_t& v : ckpt.fp_regs) v = c.uvarint();
+  if (version >= 2) {
+    // v2: device state words (v1 files predate the device model; an empty
+    // vector restores the reset state).
+    const std::uint64_t dev_words = c.uvarint();
+    for (std::uint64_t i = 0; c.ok && i < dev_words; ++i)
+      ckpt.dev.push_back(c.uvarint());
+  }
   const std::uint64_t page_count = c.uvarint();
   for (std::uint64_t i = 0; c.ok && i < page_count; ++i) {
     arch::Checkpoint::PageImage page;

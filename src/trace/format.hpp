@@ -34,6 +34,11 @@ inline constexpr std::array<std::uint8_t, 4> kCheckpointMagic = {'E', 'R', 'C',
                                                                  'K'};
 inline constexpr std::uint32_t kFormatVersion = 1;
 
+/// Checkpoint files version independently of traces: v2 appends the device
+/// state section (dev::Machine words); v1 files (no device section) still
+/// load, resuming with a reset device.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+
 // --- encoding helpers -----------------------------------------------------
 
 inline void put_uvarint(std::vector<std::uint8_t>& out, std::uint64_t v) {

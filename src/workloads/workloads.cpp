@@ -1,5 +1,8 @@
 #include "workloads/workloads.hpp"
 
+#include <map>
+#include <mutex>
+
 #include "asmkit/assembler.hpp"
 #include "common/log.hpp"
 #include "trace/capture.hpp"
@@ -35,7 +38,56 @@ std::vector<Workload> build_registry() {
                "80x80 fields, 3 steps", true, kernel_swim(80, 3)});
   w.push_back({"hydro2d", "limiter-based directional flux sweeps",
                "64x64 fields, 5 steps", true, kernel_hydro2d(64, 5)});
+  // Interrupt-driven kernels (no SPEC95 namesake): src/dev/ device-model
+  // workloads whose handlers run off asynchronous timer / console-RX
+  // interrupts. Other periods resolve via "timer@N" / "echo@N".
+  w.push_back({"timer", "LCG checksum loop under a periodic timer interrupt",
+               "28000 iterations, tick every 400 insts", false,
+               kernel_timer(28000, 400)});
+  w.push_back({"echo", "interrupt-driven console echo server",
+               "256 bytes, RX byte every 700 insts", false,
+               kernel_echo(256, 700)});
   return w;
+}
+
+/// "timer@N" / "echo@N": the interrupt kernels at a caller-chosen device
+/// period (the fig11 --irq-period sweep axis). Returns nullptr unless the
+/// suffix is a plain decimal N >= 32 (shorter periods would re-enter the
+/// handler before it returns). Resolved workloads are cached with
+/// node-stable addresses so the usual registry pointer contract holds.
+const Workload* find_parameterized(const std::string& name) {
+  const std::size_t at = name.find('@');
+  if (at == std::string::npos) return nullptr;
+  const std::string base = name.substr(0, at);
+  if (base != "timer" && base != "echo") return nullptr;
+  const std::string digits = name.substr(at + 1);
+  if (digits.empty() || digits.size() > 9) return nullptr;
+  unsigned period = 0;
+  for (const char ch : digits) {
+    if (ch < '0' || ch > '9') return nullptr;
+    period = period * 10 + static_cast<unsigned>(ch - '0');
+  }
+  if (period < 32) return nullptr;
+
+  static std::mutex mu;
+  static std::map<std::string, Workload>& cache =
+      *new std::map<std::string, Workload>;  // leaked: node-stable forever
+  const std::scoped_lock lock(mu);
+  const auto it = cache.find(name);
+  if (it != cache.end()) return &it->second;
+  Workload w;
+  w.name = name;
+  w.is_fp = false;
+  if (base == "timer") {
+    w.description = "LCG checksum loop under a periodic timer interrupt";
+    w.input = "28000 iterations, tick every " + digits + " insts";
+    w.source = kernel_timer(28000, period);
+  } else {
+    w.description = "interrupt-driven console echo server";
+    w.input = "256 bytes, RX byte every " + digits + " insts";
+    w.source = kernel_echo(256, period);
+  }
+  return &cache.emplace(name, std::move(w)).first->second;
 }
 
 }  // namespace
@@ -49,7 +101,7 @@ const Workload* find_workload(const std::string& name) {
   for (const Workload& w : registry()) {
     if (w.name == name) return &w;
   }
-  return nullptr;
+  return find_parameterized(name);
 }
 
 const Workload& workload(const std::string& name) {

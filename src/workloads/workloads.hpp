@@ -14,6 +14,14 @@
 //   swim     - shallow-water finite differences over three 2-D fields
 //   hydro2d  - 2-D hydrodynamics flux sweeps with min/max limiters
 //
+// Two interrupt-driven kernels (no SPEC95 namesake) round out the set,
+// exercising the src/dev/ device model and asynchronous trap delivery:
+//
+//   timer    - LCG checksum loop under a periodic timer interrupt
+//   echo     - console echo server driven by RX interrupts
+//
+// "timer@N" / "echo@N" resolve the same kernels at device period N.
+//
 // Each kernel self-checks by storing checksums at its `result` label; the
 // functional oracle validates every committed instruction during simulation.
 #pragma once
@@ -34,14 +42,17 @@ struct Workload {
   std::string source;       // assembly text
 };
 
-/// All ten kernels at their default (benchmark) scale.
+/// All twelve kernels at their default (benchmark) scale.
 const std::vector<Workload>& registry();
 
 /// Lookup by name; aborts on unknown names.
 const Workload& workload(const std::string& name);
 
 /// Lookup by name; nullptr on unknown names (CLI validation paths that
-/// want a usage message instead of an abort).
+/// want a usage message instead of an abort). Besides the registry names,
+/// resolves the parameterized interrupt kernels "timer@N" / "echo@N"
+/// (device period N retired instructions, N >= 32) on demand; resolved
+/// instances are cached with stable addresses.
 const Workload* find_workload(const std::string& name);
 
 /// Name scheme for the trace-replay workload family: "trace:<path>" resolves
@@ -61,6 +72,14 @@ std::string kernel_gcc(unsigned tokens);
 std::string kernel_go(unsigned sweeps);
 std::string kernel_li(unsigned queens);
 std::string kernel_perl(unsigned passes);
+
+/// Interrupt-driven kernel generators (src/dev/ device model): a periodic
+/// timer tick counter and a console RX echo handler. `period` is in retired
+/// instructions and must be >= 32 so the handler returns before the next
+/// event fires. Resolvable at any period via the "timer@N" / "echo@N" name
+/// scheme in find_workload().
+std::string kernel_timer(unsigned iters, unsigned period);
+std::string kernel_echo(unsigned echoes, unsigned period);
 
 /// Floating-point kernel generators.
 std::string kernel_mgrid(unsigned dim, unsigned sweeps);

@@ -145,6 +145,39 @@ TEST(RixnerProbe, ExportsEnergyAndEd2) {
   EXPECT_GT(reg.counter_value("power/lus_accesses"), 0u);
 }
 
+TEST(RixnerProbe, WrongPathTrafficIsCountedSeparately) {
+  // The timer kernel's interrupt deliveries and IRET flushes squash
+  // sequential-path work every few hundred instructions, so wrong-path
+  // rename/RF traffic must show up — and stay out of the headline
+  // committed-work counters (reads <= 2 and writes <= 1 per commit still
+  // hold exactly).
+  const arch::Program program = workloads::assemble_workload("timer");
+  const sim::SimConfig config = probe_config(core::PolicyKind::Extended);
+  RixnerProbe probe;
+  auto core = sim::Simulator(config).make_core(program);
+  core->attach_probe(&probe);
+  const sim::SimStats stats = core->run();
+  ASSERT_GT(stats.committed, 10'000u);
+
+  const sim::StatRegistry& reg = core->registry();
+  EXPECT_GT(reg.counter_value("power/wrongpath_renames"), 0u);
+  const std::uint64_t wp_reads =
+      reg.counter_value("power/wrongpath_rf_reads/int") +
+      reg.counter_value("power/wrongpath_rf_reads/fp");
+  const std::uint64_t wp_writes =
+      reg.counter_value("power/wrongpath_rf_writes/int") +
+      reg.counter_value("power/wrongpath_rf_writes/fp");
+  EXPECT_GT(wp_reads, 0u);
+  EXPECT_GT(wp_writes, 0u);
+  EXPECT_GT(reg.counter_value("power/wrongpath_lus_accesses"), 0u);
+  const std::uint64_t reads = reg.counter_value("power/rf_reads/int") +
+                              reg.counter_value("power/rf_reads/fp");
+  const std::uint64_t writes = reg.counter_value("power/rf_writes/int") +
+                               reg.counter_value("power/rf_writes/fp");
+  EXPECT_LE(reads, 2 * stats.committed);
+  EXPECT_LE(writes, stats.committed);
+}
+
 TEST(RixnerProbe, ConventionalPolicyHasNoLusTraffic) {
   const arch::Program program = workloads::assemble_workload("li");
   const sim::SimConfig config = probe_config(core::PolicyKind::Conventional);

@@ -90,12 +90,12 @@ TEST(Disassembler, EncodeDecodeDisasmStableForAllWorkloads) {
 
 TEST(Workloads, RegistryIsCompleteAndNamed) {
   const auto& names = workloads::workload_names();
-  EXPECT_EQ(names.size(), 10u);
+  EXPECT_EQ(names.size(), 12u);
   unsigned fp = 0;
   for (const auto& name : names) fp += workloads::workload(name).is_fp;
   EXPECT_EQ(fp, 5u);
   EXPECT_EQ(names.front(), "compress");
-  EXPECT_EQ(names.back(), "hydro2d");
+  EXPECT_EQ(names.back(), "echo");
 }
 
 TEST(Workloads, KernelGeneratorsScale) {
