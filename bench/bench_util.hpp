@@ -56,6 +56,9 @@ struct Options {
   std::string json_path;            // --json=PATH     ResultSet JSON sink
   std::string cache_dir;            // --cache-dir=PATH  result cache
   std::string server;               // --server=HOST:PORT  ereld daemon
+  unsigned server_timeout_ms = 0;   // --server-timeout-ms=N  call deadline
+  unsigned server_retries =         // --server-retries=N  per-cell budget
+      harness::RemoteOptions{}.retries;
   bool smoke = false;               // --smoke         tiny CI grid
   bool power = false;               // --power         RixnerProbe columns
   std::uint64_t irq_period = 0;     // --irq-period=N  device period rewrite
@@ -91,7 +94,16 @@ struct Options {
   }
 
   [[nodiscard]] harness::RunOptions run_options() const {
-    return {threads, cache_dir, server};
+    harness::RunOptions opts;
+    opts.threads = threads;
+    opts.cache_dir = cache_dir;
+    opts.server = server;
+    if (server_timeout_ms != 0) {
+      opts.remote.connect_timeout_ms = server_timeout_ms;
+      opts.remote.call_timeout_ms = server_timeout_ms;
+    }
+    opts.remote.retries = server_retries;
+    return opts;
   }
 
   // Workload subsets honoring positional selection, --smoke and
@@ -175,6 +187,8 @@ inline void usage(const char* argv0) {
       "  --cache-dir=PATH   reuse/store per-cell results on disk\n"
       "  --server=HOST:PORT route cells through an experiment daemon "
       "(ereld)\n"
+      "  --server-timeout-ms=N per-call deadline on the daemon path\n"
+      "  --server-retries=N    re-dispatch budget per cell (default 3)\n"
       "  --smoke            tiny grid (CI: execute, don't just compile)\n"
       "  --list-workloads   print the workload registry and exit\n"
       "  --list-policies    print the release policies and exit\n",
@@ -268,6 +282,12 @@ inline Options parse(int argc, char** argv) {
       opts.json_path = value("--json");
     } else if (matches("--cache-dir")) {
       opts.cache_dir = value("--cache-dir");
+    } else if (matches("--server-timeout-ms")) {
+      opts.server_timeout_ms = static_cast<unsigned>(
+          std::strtoul(value("--server-timeout-ms").c_str(), nullptr, 10));
+    } else if (matches("--server-retries")) {
+      opts.server_retries = static_cast<unsigned>(
+          std::strtoul(value("--server-retries").c_str(), nullptr, 10));
     } else if (matches("--server")) {
       opts.server = value("--server");
     } else if (matches("--policies")) {

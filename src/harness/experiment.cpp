@@ -1,7 +1,9 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "common/log.hpp"
@@ -155,22 +157,27 @@ ResultSet Experiment::run(const RunOptions& opts) const {
   // its replies into `ready`; anything the daemon cannot serve — including
   // all of them, when it is unreachable — falls through to the local pool.
   if (use_server && !pending.empty()) {
-    RemoteBackend remote(opts.server);
+    RemoteBackend remote(opts.server, opts.remote);
     if (!remote.connect()) {
       EREL_WARN("experiment server ", opts.server, " unreachable (",
                 remote.error(), "); simulating ", pending.size(),
                 " cell(s) locally");
     } else {
       std::vector<std::size_t> local;
-      std::vector<std::size_t> dispatched;
+      struct Dispatched {
+        std::size_t cell = 0;
+        std::uint64_t wire_id = 0;
+      };
+      std::vector<Dispatched> dispatched;
       bool connection_ok = true;
       for (const std::size_t i : pending) {
         if (fp_hex[i].empty() || !connection_ok) {
           local.push_back(i);
           continue;
         }
-        if (remote.dispatch(i, cells[i].key, cells[i].spec, fp_hex[i])) {
-          dispatched.push_back(i);
+        if (const std::optional<std::uint64_t> wire =
+                remote.dispatch(cells[i].key, cells[i].spec, fp_hex[i])) {
+          dispatched.push_back({i, *wire});
         } else {
           EREL_WARN("experiment server ", opts.server, " lost (",
                     remote.error(), "); simulating the rest locally");
@@ -184,11 +191,46 @@ ResultSet Experiment::run(const RunOptions& opts) const {
       // hundreds of identical lines.
       std::size_t await_failures = 0;
       std::string first_why;
-      for (const std::size_t i : dispatched) {
+      for (const Dispatched& d : dispatched) {
+        const std::size_t i = d.cell;
+        std::uint64_t wire = d.wire_id;
+        std::optional<ExpEntry> entry;
         std::string raw_text;
         std::string why;
-        std::optional<ExpEntry> entry =
-            remote.await(i, cells[i].key, fp_hex[i], &raw_text, &why);
+        for (unsigned attempt = 0;; ++attempt) {
+          entry = remote.await(wire, cells[i].key, fp_hex[i], &raw_text, &why);
+          if (entry || !remote.last_failure_retryable() ||
+              attempt >= opts.remote.retries)
+            break;
+          // Withdraw the stale attempt (a timed-out request may still be
+          // queued server-side), wait out the backoff — or the daemon's
+          // kBusy hint, when longer — and re-dispatch under a fresh wire
+          // id. Content addressing makes the resubmission idempotent: the
+          // daemon serves a cache hit or joins the in-flight run, never
+          // simulates the cell twice.
+          remote.abandon(wire);
+          const std::uint64_t hint = remote.retry_hint_ms();
+          // A kBusy refusal means the connection is healthy — the daemon
+          // answered. Anything else retryable (await deadline, torn
+          // connection) marks the connection suspect: tear it down so the
+          // re-dispatch revives a fresh one instead of burning every
+          // remaining cell's budget on a half-dead (blackholed) socket.
+          if (hint == 0) remote.reset_connection();
+          const std::uint64_t backoff = std::min<std::uint64_t>(
+              static_cast<std::uint64_t>(opts.remote.backoff_base_ms)
+                  << std::min(attempt, 20u),
+              opts.remote.backoff_cap_ms);
+          const std::uint64_t wait = std::max(backoff, hint);
+          if (wait > 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+          const std::optional<std::uint64_t> rewire =
+              remote.dispatch(cells[i].key, cells[i].spec, fp_hex[i]);
+          if (!rewire) {
+            why = remote.error();
+            break;
+          }
+          wire = *rewire;
+        }
         if (!entry) {
           if (await_failures == 0) first_why = why;
           ++await_failures;

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "harness/harness.hpp"
+#include "harness/remote.hpp"
 #include "harness/results.hpp"
 
 namespace erel::harness {
@@ -59,6 +60,13 @@ struct RunOptions {
   /// into cache_dir verbatim. An unreachable daemon or a refused cell
   /// degrades to local simulation with a warning, never an abort.
   std::string server;
+
+  /// Deadline + retry shape for the `server` path (ignored otherwise):
+  /// retryable failures (deadline timeout, kBusy admission refusal, torn
+  /// connection) are re-dispatched with capped backoff up to
+  /// `remote.retries` extra attempts per cell; fatal ones (version
+  /// mismatch, refused cell, protocol violation) degrade immediately.
+  RemoteOptions remote;
 };
 
 class Experiment {

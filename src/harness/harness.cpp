@@ -32,9 +32,14 @@ RunResult run_one(const RunSpec& spec, const RunHooks& hooks) {
     });
     return metrics;
   };
+  if (hooks.cancelled && hooks.cancelled()) {
+    // Cancelled before starting: the result is partial by definition.
+    return RunResult{spec, {}, std::nullopt, {}};
+  }
   if (spec.sampling) {
     sim::SampledSimulator sampler(spec.config, *spec.sampling);
-    sim::SampledStats sampled = sampler.run(program, spec.probes);
+    sim::SampledStats sampled = sampler.run(program, spec.probes,
+                                            hooks.cancelled);
     std::vector<sim::Metric> metrics = collect_metrics(sampled.registry);
     return RunResult{spec, sampled.estimate, std::move(sampled),
                      std::move(metrics)};

@@ -70,6 +70,14 @@ struct RunHooks {
   /// Full-detail runs only (a sampled run has no single live registry); for
   /// sampled specs the callback never fires.
   std::function<void(sim::StatRegistry*)> live_registry;
+
+  /// Cooperative cancellation: polled at coarse boundaries (before the run
+  /// starts; between a sampled run's planning steps and measurement
+  /// batches). Once it returns true the run stops early and the RunResult
+  /// is PARTIAL — callers that cancel must discard it, never cache or
+  /// serve it. Full-detail runs only honor the pre-start check (the
+  /// detailed core has no safe interior stopping point).
+  std::function<bool()> cancelled;
 };
 
 /// Runs one spec on the calling thread: the unit of work shared by run_all

@@ -79,6 +79,12 @@ class EventServer {
 
   [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
 
+  /// Clients dropped for exceeding kMaxOutboundBuffer. Thread-safe read;
+  /// surfaced in DaemonStats as `dropped_clients`.
+  [[nodiscard]] std::uint64_t overflow_drops() const {
+    return overflow_drops_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Connection {
     Socket socket;
@@ -97,6 +103,8 @@ class EventServer {
   Listener listener_;
   std::map<std::uint64_t, Connection> conns_;
   std::uint64_t next_client_ = 1;
+
+  std::atomic<std::uint64_t> overflow_drops_{0};
 
   int wake_pipe_[2] = {-1, -1};
   std::mutex post_mu_;

@@ -1,13 +1,16 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
@@ -41,6 +44,60 @@ void Socket::close_fd() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
+  }
+}
+
+namespace {
+
+timeval ms_to_timeval(unsigned ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  return tv;
+}
+
+/// Milliseconds left until `deadline` on the steady clock, clamped at 0.
+int remaining_ms(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 1'000'000'000) return 1'000'000'000;
+  return static_cast<int>(left.count());
+}
+
+}  // namespace
+
+bool Socket::set_recv_timeout_ms(unsigned ms) {
+  const timeval tv = ms_to_timeval(ms);
+  return fd_ >= 0 &&
+         ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) == 0;
+}
+
+bool Socket::set_send_timeout_ms(unsigned ms) {
+  const timeval tv = ms_to_timeval(ms);
+  return fd_ >= 0 &&
+         ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv) == 0;
+}
+
+Socket::IoStatus Socket::recv_some(std::string& out, int timeout_ms) {
+  if (fd_ < 0) return IoStatus::kError;
+  for (;;) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    if (rc == 0) return IoStatus::kTimeout;
+    char chunk[64 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    if (n == 0) return IoStatus::kEof;
+    out.append(chunk, static_cast<std::size_t>(n));
+    return IoStatus::kOk;
   }
 }
 
@@ -85,6 +142,36 @@ std::optional<Frame> Socket::recv_frame(bool* clean_eof) {
   }
 }
 
+Socket::RecvStatus Socket::recv_frame_deadline(Frame& out, int timeout_ms,
+                                               bool* clean_eof) {
+  if (clean_eof != nullptr) *clean_eof = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    switch (decoder_.next(out)) {
+      case FrameDecoder::Status::kFrame:
+        return RecvStatus::kFrame;
+      case FrameDecoder::Status::kError:
+        return RecvStatus::kError;
+      case FrameDecoder::Status::kNeedMore:
+        break;
+    }
+    std::string chunk;
+    switch (recv_some(chunk, remaining_ms(deadline))) {
+      case IoStatus::kOk:
+        decoder_.feed(chunk);
+        break;
+      case IoStatus::kTimeout:
+        return RecvStatus::kTimeout;
+      case IoStatus::kEof:
+        if (clean_eof != nullptr) *clean_eof = !decoder_.mid_frame();
+        return RecvStatus::kEof;
+      case IoStatus::kError:
+        return RecvStatus::kError;
+    }
+  }
+}
+
 bool Socket::send_frame(const Frame& frame) {
   return send_all(encode_frame(frame));
 }
@@ -112,10 +199,43 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
+/// connect() with an upper bound: non-blocking connect, poll for
+/// writability, then read SO_ERROR for the real outcome. Restores the
+/// original fd flags on success. Returns 0 or an errno value.
+int connect_with_timeout(int fd, const sockaddr* addr, socklen_t addr_len,
+                         int timeout_ms) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return errno;
+  if (::connect(fd, addr, addr_len) == 0) {
+    ::fcntl(fd, F_SETFL, flags);
+    return 0;
+  }
+  if (errno != EINPROGRESS) return errno;
+  pollfd pfd{fd, POLLOUT, 0};
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno;
+    }
+    if (rc == 0) return ETIMEDOUT;
+    break;
+  }
+  int so_error = 0;
+  socklen_t len = sizeof so_error;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0)
+    return errno;
+  if (so_error != 0) return so_error;
+  ::fcntl(fd, F_SETFL, flags);
+  return 0;
+}
+
 }  // namespace
 
 Socket connect_to(const std::string& host, std::uint16_t port,
-                  std::string* error) {
+                  std::string* error, int timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -134,8 +254,15 @@ Socket connect_to(const std::string& host, std::uint16_t port,
       last_error = std::strerror(errno);
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    last_error = std::strerror(errno);
+    if (timeout_ms > 0) {
+      const int err =
+          connect_with_timeout(fd, ai->ai_addr, ai->ai_addrlen, timeout_ms);
+      if (err == 0) break;
+      last_error = std::strerror(err);
+    } else {
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      last_error = std::strerror(errno);
+    }
     ::close(fd);
     fd = -1;
   }

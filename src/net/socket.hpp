@@ -31,6 +31,24 @@ class Socket {
   int release();
   void close_fd();
 
+  // ---- deadlines ----
+
+  /// Kernel-level IO timeouts (SO_RCVTIMEO / SO_SNDTIMEO): a blocking
+  /// send/recv that makes no progress for `ms` milliseconds fails with
+  /// EAGAIN instead of hanging forever. 0 restores fully-blocking IO.
+  bool set_recv_timeout_ms(unsigned ms);
+  bool set_send_timeout_ms(unsigned ms);
+
+  /// One poll()-bounded read: waits up to `timeout_ms` for readability,
+  /// then appends whatever one recv() returns to `out`.
+  enum class IoStatus {
+    kOk,       // >= 1 byte appended
+    kTimeout,  // deadline expired with nothing to read
+    kEof,      // orderly shutdown from the peer
+    kError,    // socket error; the connection is dead
+  };
+  IoStatus recv_some(std::string& out, int timeout_ms);
+
   // ---- blocking, whole-message IO (client side) ----
 
   /// Writes all of `bytes`; false on any error (the socket is then dead).
@@ -40,6 +58,16 @@ class Socket {
   /// framing. A clean EOF *between* frames sets `*clean_eof` when provided
   /// (a server shutting down vs. a torn connection).
   std::optional<Frame> recv_frame(bool* clean_eof = nullptr);
+
+  /// Deadline-bounded recv_frame: the whole frame must arrive within
+  /// `timeout_ms` (measured from the call, across however many partial
+  /// reads it takes). kTimeout leaves the connection and any partially
+  /// decoded bytes intact — the caller may retry and the frame resumes
+  /// where it left off; kEof/kError mean the connection is unusable
+  /// (`*clean_eof` distinguishes orderly shutdown from mid-frame death).
+  enum class RecvStatus { kFrame, kTimeout, kEof, kError };
+  RecvStatus recv_frame_deadline(Frame& out, int timeout_ms,
+                                 bool* clean_eof = nullptr);
 
   /// send_all(encode_frame(frame)).
   bool send_frame(const Frame& frame);
@@ -55,8 +83,12 @@ std::optional<std::pair<std::string, std::uint16_t>> parse_endpoint(
 
 /// Blocking TCP connect. Returns an invalid Socket on failure (resolver or
 /// connect error), with the reason in `*error` when provided.
+/// `timeout_ms` > 0 bounds each address attempt with a non-blocking
+/// connect + poll (a daemon behind a dropping firewall fails in bounded
+/// time instead of riding the OS's multi-minute SYN retry schedule);
+/// 0 keeps the OS default blocking connect.
 Socket connect_to(const std::string& host, std::uint16_t port,
-                  std::string* error = nullptr);
+                  std::string* error = nullptr, int timeout_ms = 0);
 
 /// A listening TCP socket. Binds on construction; `valid()` is false (and
 /// `error()` set) when bind/listen failed.

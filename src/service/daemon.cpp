@@ -40,6 +40,8 @@ ExperimentDaemon::ExperimentDaemon(const Options& opts)
       opts_.cache_dir.clear();
     }
   }
+  if (!opts_.cache_dir.empty())
+    store_.open(opts_.cache_dir, opts_.max_cache_bytes);
 }
 
 ExperimentDaemon::~ExperimentDaemon() {
@@ -48,8 +50,16 @@ ExperimentDaemon::~ExperimentDaemon() {
 }
 
 DaemonStats ExperimentDaemon::stats() const {
-  const std::scoped_lock lock(mu_);
-  return stats_;
+  DaemonStats stats;
+  {
+    const std::scoped_lock lock(mu_);
+    stats = stats_;
+  }
+  stats.dropped_clients = server_.overflow_drops();
+  const ResultStore::Counters store = store_.counters();
+  stats.evicted = store.evicted;
+  stats.quarantined = store.quarantined;
+  return stats;
 }
 
 void ExperimentDaemon::run() {
@@ -77,6 +87,9 @@ void ExperimentDaemon::on_frame(std::uint64_t client, net::Frame frame) {
     case MsgType::kRunCell:
       handle_run_cell(client, frame);
       return;
+    case MsgType::kCancel:
+      handle_cancel(client, frame);
+      return;
     case MsgType::kSubscribe:
       handle_subscribe(client, frame);
       return;
@@ -103,14 +116,33 @@ void ExperimentDaemon::on_frame(std::uint64_t client, net::Frame frame) {
   }
 }
 
+auto ExperimentDaemon::reap_if_orphaned(
+    std::map<std::string, std::shared_ptr<InFlight>>::iterator it)
+    -> std::map<std::string, std::shared_ptr<InFlight>>::iterator {
+  InFlight& cell = *it->second;
+  if (!cell.waiters.empty() || !cell.subs.empty()) return std::next(it);
+  if (!cell.running) {
+    // Still queued: erase now; the pool closure finds nothing and no-ops.
+    --stats_.inflight;
+    ++stats_.cancelled;
+    return inflight_.erase(it);
+  }
+  // Running: ask the worker to stop at its next cancellation check. The
+  // worker's abort path does the reaping (or resubmits if someone rejoins).
+  cell.cancel->store(true, std::memory_order_relaxed);
+  return std::next(it);
+}
+
 void ExperimentDaemon::on_disconnect(std::uint64_t client) {
   const std::scoped_lock lock(mu_);
-  for (auto& [fp, cell] : inflight_) {
-    std::erase_if(cell->waiters,
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    InFlight& cell = *it->second;
+    std::erase_if(cell.waiters,
                   [client](const Waiter& w) { return w.client == client; });
-    std::erase_if(cell->subs, [client](const Subscription& s) {
+    std::erase_if(cell.subs, [client](const Subscription& s) {
       return s.client == client;
     });
+    it = reap_if_orphaned(it);
   }
   for (auto it = pending_subs_.begin(); it != pending_subs_.end();) {
     it = it->second.client == client ? pending_subs_.erase(it) : std::next(it);
@@ -169,9 +201,7 @@ void ExperimentDaemon::handle_run_cell(std::uint64_t client,
 
   // Disk first: a cached cell costs one file read.
   if (!opts_.cache_dir.empty()) {
-    const std::optional<std::string> text = harness::load_cache_entry_text(
-        harness::cache_entry_path(opts_.cache_dir, fp_hex), fp_hex,
-        request->key);
+    const std::optional<std::string> text = store_.load(fp_hex, request->key);
     if (text) {
       {
         const std::scoped_lock lock(mu_);
@@ -193,23 +223,70 @@ void ExperimentDaemon::handle_run_cell(std::uint64_t client,
     }
   }
 
-  const std::scoped_lock lock(mu_);
-  if (const auto it = inflight_.find(fp_hex); it != inflight_.end()) {
-    // Same fingerprint already simulating: join its completion.
-    it->second->waiters.push_back(Waiter{client, request->id});
-    ++stats_.deduped;
+  {
+    const std::scoped_lock lock(mu_);
+    if (const auto it = inflight_.find(fp_hex); it != inflight_.end()) {
+      // Same fingerprint already simulating: join its completion. Joining
+      // also rescinds any pending cooperative cancellation — the cell is
+      // wanted again (if the worker already stopped, its abort path sees
+      // the new waiter and resubmits).
+      it->second->waiters.push_back(Waiter{client, request->id});
+      it->second->cancel->store(false, std::memory_order_relaxed);
+      ++stats_.deduped;
+      return;
+    }
+    if (opts_.max_queue == 0 || inflight_.size() < opts_.max_queue) {
+      auto cell = std::make_shared<InFlight>();
+      cell->request = std::move(*request);
+      cell->waiters.push_back(Waiter{client, cell->request.id});
+      cell->cancel = std::make_shared<std::atomic<bool>>(false);
+      for (auto [it, end] = pending_subs_.equal_range(fp_hex); it != end;
+           it = pending_subs_.erase(it)) {
+        cell->subs.push_back(std::move(it->second));
+      }
+      inflight_.emplace(fp_hex, std::move(cell));
+      ++stats_.inflight;
+      pool_.submit([this, fp_hex] { run_cell(fp_hex); });
+      return;
+    }
+    ++stats_.busy;
+  }
+  // Queue full: refuse admission. Nothing was enqueued; the client backs
+  // off and resubmits (idempotent: the retry is a cache hit or a join).
+  server_.send(client,
+               net::Frame{static_cast<std::uint8_t>(MsgType::kBusy),
+                          encode_busy(BusyMsg{request->id,
+                                              opts_.busy_retry_ms})});
+}
+
+void ExperimentDaemon::handle_cancel(std::uint64_t client,
+                                     const net::Frame& frame) {
+  const std::optional<CancelMsg> msg = decode_cancel(frame.payload);
+  if (!msg) {
+    send_error(client, 0, "malformed cancel request");
     return;
   }
-  auto cell = std::make_shared<InFlight>();
-  cell->request = std::move(*request);
-  cell->waiters.push_back(Waiter{client, cell->request.id});
-  for (auto [it, end] = pending_subs_.equal_range(fp_hex); it != end;
-       it = pending_subs_.erase(it)) {
-    cell->subs.push_back(std::move(it->second));
+  bool found = false;
+  {
+    const std::scoped_lock lock(mu_);
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      InFlight& cell = *it->second;
+      const std::size_t before = cell.waiters.size();
+      std::erase_if(cell.waiters, [&](const Waiter& w) {
+        return w.client == client && w.request_id == msg->id;
+      });
+      found = found || cell.waiters.size() != before;
+      it = reap_if_orphaned(it);
+    }
   }
-  inflight_.emplace(fp_hex, std::move(cell));
-  ++stats_.inflight;
-  pool_.submit([this, fp_hex] { run_cell(fp_hex); });
+  // Always answer, so the client can retire the id: kError with the echoed
+  // id, same shape as any other failed request. Not counted in
+  // stats_.errors — a granted cancellation is not a failure.
+  server_.send(
+      client,
+      net::Frame{static_cast<std::uint8_t>(MsgType::kError),
+                 encode_error(ErrorMsg{
+                     msg->id, found ? "cancelled" : "unknown id"})});
 }
 
 void ExperimentDaemon::handle_subscribe(std::uint64_t client,
@@ -239,11 +316,14 @@ void ExperimentDaemon::handle_subscribe(std::uint64_t client,
 
 void ExperimentDaemon::run_cell(const std::string& fp_hex) {
   CellRequest request;
+  std::shared_ptr<std::atomic<bool>> cancel;
   {
     const std::scoped_lock lock(mu_);
     const auto it = inflight_.find(fp_hex);
-    if (it == inflight_.end()) return;
+    if (it == inflight_.end()) return;  // reaped while queued
+    it->second->running = true;
     request = it->second->request;
+    cancel = it->second->cancel;
   }
 
   harness::RunSpec spec;
@@ -286,16 +366,47 @@ void ExperimentDaemon::run_cell(const std::string& fp_hex) {
     }
   };
 
+  // `observed` latches locally: once the run saw the cancel flag the result
+  // is partial and must be discarded, even if a late joiner cleared the
+  // shared flag afterwards (the abort path resubmits for them).
+  bool observed = false;
+  hooks.cancelled = [&observed, &cancel] {
+    if (cancel->load(std::memory_order_relaxed)) observed = true;
+    return observed;
+  };
+
   const harness::RunResult result = harness::run_one(spec, hooks);
+  if (observed) {
+    abort_cell(fp_hex);
+    return;
+  }
   harness::ExpEntry entry{request.key, result.stats, result.sampled,
                           result.metrics, /*from_cache=*/false};
   std::string text = harness::serialize_entry(entry, fp_hex);
-  if (!opts_.cache_dir.empty())
-    harness::save_cache_entry(
-        harness::cache_entry_path(opts_.cache_dir, fp_hex), text);
+  if (!opts_.cache_dir.empty()) store_.store(fp_hex, text);
   server_.post([this, fp_hex, text = std::move(text)] {
     complete_cell(fp_hex, text);
   });
+}
+
+void ExperimentDaemon::abort_cell(const std::string& fp_hex) {
+  const std::scoped_lock lock(mu_);
+  const auto it = inflight_.find(fp_hex);
+  if (it == inflight_.end()) return;
+  InFlight& cell = *it->second;
+  if (!cell.waiters.empty() || !cell.subs.empty()) {
+    // A requester joined between the cancellation and here: the partial
+    // run is discarded, but the cell is wanted again — run it afresh.
+    cell.running = false;
+    cell.live = nullptr;
+    cell.live_subscribed = false;
+    cell.cancel = std::make_shared<std::atomic<bool>>(false);
+    pool_.submit([this, fp_hex] { run_cell(fp_hex); });
+    return;
+  }
+  inflight_.erase(it);
+  --stats_.inflight;
+  ++stats_.cancelled;
 }
 
 // ---- loop thread: completion + pushes -----------------------------------

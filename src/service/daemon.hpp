@@ -39,6 +39,7 @@
 #include "common/thread_pool.hpp"
 #include "net/server.hpp"
 #include "service/protocol.hpp"
+#include "service/store.hpp"
 #include "sim/stat_registry.hpp"
 
 namespace erel::service {
@@ -55,6 +56,16 @@ class ExperimentDaemon : public net::EventServer::Handler {
     std::uint64_t snapshot_interval_cycles = 10'000;
     /// Subscriber push cadence, milliseconds.
     unsigned tick_ms = 25;
+
+    /// Admission control: most cells queued-or-running before a new
+    /// kRunCell is refused with kBusy. 0 = unlimited. Cache hits and
+    /// in-flight joins are never refused (they cost no queue slot).
+    std::size_t max_queue = 0;
+    /// Result-store byte budget, enforced by LRU eviction (service/
+    /// store.hpp). 0 = unlimited.
+    std::uint64_t max_cache_bytes = 0;
+    /// Retry hint carried in kBusy replies, milliseconds.
+    unsigned busy_retry_ms = 50;
   };
 
   explicit ExperimentDaemon(const Options& opts);
@@ -97,6 +108,11 @@ class ExperimentDaemon : public net::EventServer::Handler {
     CellRequest request;
     std::vector<Waiter> waiters;
     std::vector<Subscription> subs;
+    bool running = false;  // a pool worker has picked it up
+    /// Cooperative cancel flag, polled between the run's sampling batches.
+    /// Set when the last waiter/subscriber leaves a running cell; cleared
+    /// when a new requester joins before the worker notices.
+    std::shared_ptr<std::atomic<bool>> cancel;
     sim::StatRegistry* live = nullptr;  // set while the core runs
     bool live_subscribed = false;       // we hold one snapshot subscription
     /// Captured from the live registry at run end (before core teardown)
@@ -105,12 +121,21 @@ class ExperimentDaemon : public net::EventServer::Handler {
   };
 
   void handle_run_cell(std::uint64_t client, const net::Frame& frame);
+  void handle_cancel(std::uint64_t client, const net::Frame& frame);
   void handle_subscribe(std::uint64_t client, const net::Frame& frame);
   void send_error(std::uint64_t client, std::uint64_t id,
                   const std::string& message);
   void run_cell(const std::string& fp_hex);        // pool worker
   void complete_cell(const std::string& fp_hex,    // loop thread (posted)
                      const std::string& entry_text);
+  /// Worker, after an observed cancellation: drops the cell (counting it
+  /// cancelled) or resubmits it if a new requester joined meanwhile.
+  void abort_cell(const std::string& fp_hex);
+  /// Requires mu_. Reaps `it`'s cell if nothing waits on it anymore:
+  /// erased outright when still queued, flagged for cooperative
+  /// cancellation when running. Returns the next iterator.
+  std::map<std::string, std::shared_ptr<InFlight>>::iterator reap_if_orphaned(
+      std::map<std::string, std::shared_ptr<InFlight>>::iterator it);
   void send_update(std::uint64_t client, const UpdateMsg& msg);
   void push_updates();  // loop thread (posted by the ticker)
   void ticker_loop();
@@ -118,6 +143,7 @@ class ExperimentDaemon : public net::EventServer::Handler {
   Options opts_;
   net::EventServer server_;
   ThreadPool pool_;
+  ResultStore store_;  // owns cache_dir IO when a cache dir is configured
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<InFlight>> inflight_;

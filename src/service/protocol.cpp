@@ -110,6 +110,8 @@ std::string_view msg_type_name(MsgType type) {
     case MsgType::kStats: return "stats";
     case MsgType::kStatsReply: return "stats_reply";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kCancel: return "cancel";
+    case MsgType::kBusy: return "busy";
   }
   return "unknown";
 }
@@ -295,6 +297,52 @@ std::optional<ErrorMsg> decode_error(std::string_view payload) {
   return ErrorMsg{*id, std::string(scanner.rest())};
 }
 
+// ---- CancelMsg ----------------------------------------------------------
+
+std::string encode_cancel(const CancelMsg& msg) {
+  std::string out;
+  append_u64_line(out, "id", msg.id);
+  return out;
+}
+
+std::optional<CancelMsg> decode_cancel(std::string_view payload) {
+  LineScanner scanner(payload);
+  std::string_view line, key, value;
+  if (!scanner.next(line)) return std::nullopt;
+  split_first_space(line, key, value);
+  const auto id = parse_u64(value);
+  if (key != "id" || !id) return std::nullopt;
+  if (!scanner.rest().empty()) return std::nullopt;
+  return CancelMsg{*id};
+}
+
+// ---- BusyMsg ------------------------------------------------------------
+
+std::string encode_busy(const BusyMsg& msg) {
+  std::string out;
+  append_u64_line(out, "id", msg.id);
+  append_u64_line(out, "retry_ms", msg.retry_ms);
+  return out;
+}
+
+std::optional<BusyMsg> decode_busy(std::string_view payload) {
+  LineScanner scanner(payload);
+  std::string_view line, key, value;
+  BusyMsg msg;
+  if (!scanner.next(line)) return std::nullopt;
+  split_first_space(line, key, value);
+  const auto id = parse_u64(value);
+  if (key != "id" || !id) return std::nullopt;
+  msg.id = *id;
+  if (!scanner.next(line)) return std::nullopt;
+  split_first_space(line, key, value);
+  const auto retry = parse_u64(value);
+  if (key != "retry_ms" || !retry) return std::nullopt;
+  msg.retry_ms = *retry;
+  if (!scanner.rest().empty()) return std::nullopt;
+  return msg;
+}
+
 // ---- SubscribeMsg -------------------------------------------------------
 
 std::string encode_subscribe(const SubscribeMsg& msg) {
@@ -400,6 +448,11 @@ void daemon_stats_fields(Stats& stats, Fn&& f) {
   f("subscriptions", stats.subscriptions);
   f("updates", stats.updates);
   f("inflight", stats.inflight);
+  f("busy", stats.busy);
+  f("cancelled", stats.cancelled);
+  f("dropped_clients", stats.dropped_clients);
+  f("evicted", stats.evicted);
+  f("quarantined", stats.quarantined);
 }
 
 }  // namespace

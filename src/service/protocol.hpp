@@ -17,10 +17,18 @@
 //   kSubscribe (fingerprint, channel path) -> kUpdate* (points so far),
 //                                             final update flagged
 //   kPing -> kPong        kStats -> kStatsReply        kShutdown -> close
+//   kCancel (id)          -> kError (id, "cancelled")   [v2]
+//   kRunCell when the queue is full -> kBusy (id, retry_ms)   [v2]
 //
 // Requests are pipelined: a client may send any number of kRunCell frames
 // before reading; responses carry the request id, not an ordering promise.
 // Subscriptions are EPICS-monitor-style: named channel, push on change.
+//
+// v2 adds flow control and cancellation: kBusy is the daemon's admission
+// refusal when its bounded queue is full (the client backs off and
+// resubmits — safe, because requests are content-addressed: a resubmitted
+// cell is a cache hit or an in-flight join, never a second simulation),
+// and kCancel withdraws a pending request by id.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +45,7 @@ namespace erel::service {
 
 /// Bump when any payload encoding changes; the client refuses to talk to a
 /// daemon announcing a different version (kHello).
-inline constexpr unsigned kProtocolVersion = 1;
+inline constexpr unsigned kProtocolVersion = 2;
 
 enum class MsgType : std::uint8_t {
   kHello = 1,       // server -> client, on connect
@@ -51,6 +59,8 @@ enum class MsgType : std::uint8_t {
   kStats = 9,       // client -> server
   kStatsReply = 10, // server -> client
   kShutdown = 11,   // client -> server
+  kCancel = 12,     // client -> server (v2): withdraw a pending kRunCell
+  kBusy = 13,       // server -> client (v2): queue full, retry after backoff
 };
 
 /// Human-readable tag name for error messages and logs ("run_cell",
@@ -102,6 +112,32 @@ struct ErrorMsg {
 std::string encode_error(const ErrorMsg& msg);
 std::optional<ErrorMsg> decode_error(std::string_view payload);
 
+/// kCancel: withdraw the sender's pending kRunCell with this id. The daemon
+/// always answers — kError (id, "cancelled") if the request was pending or
+/// running for this client, kError (id, "unknown id") otherwise — so the
+/// client can account for every id it ever sent. Cancelling only detaches
+/// *this client* from the cell; the simulation itself stops cooperatively
+/// only when no other waiter or subscriber still wants it.
+struct CancelMsg {
+  std::uint64_t id = 0;
+};
+
+std::string encode_cancel(const CancelMsg& msg);
+std::optional<CancelMsg> decode_cancel(std::string_view payload);
+
+/// kBusy: admission refusal. The daemon's bounded queue (--max-queue) is
+/// full, the request was NOT enqueued, and the client should retry after
+/// roughly `retry_ms` (a hint; the client applies its own backoff+jitter on
+/// top). Cache hits and in-flight joins are never refused — kBusy only
+/// gates work that would grow the queue.
+struct BusyMsg {
+  std::uint64_t id = 0;
+  std::uint64_t retry_ms = 0;
+};
+
+std::string encode_busy(const BusyMsg& msg);
+std::optional<BusyMsg> decode_busy(std::string_view payload);
+
 /// kSubscribe: watch one registry channel of one cell, addressed by
 /// fingerprint. Snapshots of the channel are pushed as kUpdate frames while
 /// the cell simulates; subscribing to a cell that is not in flight is
@@ -143,6 +179,11 @@ struct DaemonStats {
   std::uint64_t subscriptions = 0; // kSubscribe frames accepted
   std::uint64_t updates = 0;       // kUpdate frames sent
   std::uint64_t inflight = 0;      // cells queued or running right now
+  std::uint64_t busy = 0;          // kBusy refusals sent (queue full)
+  std::uint64_t cancelled = 0;       // cells reaped by kCancel / disconnect
+  std::uint64_t dropped_clients = 0; // dropped for outbound-buffer overflow
+  std::uint64_t evicted = 0;         // cache entries evicted by the byte cap
+  std::uint64_t quarantined = 0;     // corrupt cache entries moved to .bad
 
   bool operator==(const DaemonStats&) const = default;
 };

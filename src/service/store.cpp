@@ -1,0 +1,123 @@
+#include "service/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/log.hpp"
+#include "harness/result_cache.hpp"
+
+namespace erel::service {
+
+namespace fs = std::filesystem;
+
+void ResultStore::open(std::string dir, std::uint64_t max_bytes) {
+  const std::scoped_lock lock(mu_);
+  dir_ = std::move(dir);
+  max_bytes_ = max_bytes;
+  lru_.clear();
+  index_.clear();
+  total_bytes_ = 0;
+
+  std::error_code ec;
+  std::vector<std::pair<std::string, std::uint64_t>> found;
+  for (const auto& ent : fs::directory_iterator(dir_, ec)) {
+    if (!ent.is_regular_file(ec)) continue;
+    const fs::path& path = ent.path();
+    if (path.extension() != ".erelres") continue;
+    found.emplace_back(path.stem().string(),
+                       static_cast<std::uint64_t>(ent.file_size(ec)));
+  }
+  // directory_iterator order is filesystem-dependent; sort for a
+  // reproducible cold-start LRU.
+  std::sort(found.begin(), found.end());
+  for (auto& [fp, bytes] : found) {
+    lru_.push_front(fp);
+    index_[fp] = Indexed{lru_.begin(), bytes};
+    total_bytes_ += bytes;
+  }
+}
+
+void ResultStore::touch(const std::string& fp_hex) {
+  const auto it = index_.find(fp_hex);
+  if (it == index_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+}
+
+void ResultStore::forget(const std::string& fp_hex) {
+  const auto it = index_.find(fp_hex);
+  if (it == index_.end()) return;
+  total_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  index_.erase(it);
+}
+
+std::optional<std::string> ResultStore::load(std::string_view fp_hex,
+                                             const harness::ExpKey& key) {
+  const std::string fp(fp_hex);
+  const std::string path = harness::cache_entry_path(dir_, fp_hex);
+  const std::scoped_lock lock(mu_);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    forget(fp);  // deleted behind our back (another process, manual rm)
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  if (!harness::parse_entry(text, fp_hex, key)) {
+    // Quarantine rather than delete: repeated requests stop paying the
+    // parse-and-fail cost, and the bad bytes survive for inspection.
+    std::error_code ec;
+    fs::rename(path, path + ".bad", ec);
+    if (ec) fs::remove(path, ec);
+    ++quarantined_;
+    forget(fp);
+    EREL_WARN("quarantined corrupt cache entry ", path, " -> ", path, ".bad");
+    return std::nullopt;
+  }
+  if (index_.find(fp) == index_.end()) {
+    // Appeared after open() (another writer); index it now.
+    lru_.push_front(fp);
+    index_[fp] = Indexed{lru_.begin(), text.size()};
+    total_bytes_ += text.size();
+  } else {
+    touch(fp);
+  }
+  return text;
+}
+
+void ResultStore::store(std::string_view fp_hex, const std::string& text) {
+  const std::string fp(fp_hex);
+  const std::string path = harness::cache_entry_path(dir_, fp_hex);
+  const std::scoped_lock lock(mu_);
+  harness::save_cache_entry(path, text);
+  forget(fp);
+  lru_.push_front(fp);
+  index_[fp] = Indexed{lru_.begin(), text.size()};
+  total_bytes_ += text.size();
+  evict_over_budget(fp);
+}
+
+void ResultStore::evict_over_budget(std::string_view keep_fp) {
+  if (max_bytes_ == 0) return;
+  while (total_bytes_ > max_bytes_ && !lru_.empty()) {
+    const std::string victim = lru_.back();  // copy: forget() erases the node
+    if (victim == keep_fp) break;  // never evict what we just stored
+    std::error_code ec;
+    fs::remove(harness::cache_entry_path(dir_, victim), ec);
+    ++evicted_;
+    forget(victim);
+  }
+}
+
+ResultStore::Counters ResultStore::counters() const {
+  const std::scoped_lock lock(mu_);
+  return Counters{evicted_, quarantined_, total_bytes_,
+                  static_cast<std::uint64_t>(index_.size())};
+}
+
+}  // namespace erel::service

@@ -1,0 +1,76 @@
+// Byte-capped LRU view over the daemon's on-disk result cache.
+//
+// The files themselves stay exactly what harness/result_cache.hpp writes —
+// one <fingerprint>.erelres text entry, atomically published — so local
+// runs, other daemons, and humans with `cat` all keep working against the
+// same directory. This class adds the two properties a long-lived daemon
+// needs on top: a --max-cache-bytes budget enforced by least-recently-used
+// eviction, and quarantine for corrupt entries (renamed to `<path>.bad`
+// instead of being re-read and re-missed on every request, preserving the
+// evidence for a postmortem).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "harness/results.hpp"
+
+namespace erel::service {
+
+/// Thread-safe: daemon worker threads load and store concurrently. All
+/// byte accounting counts entry payloads, not filesystem overhead.
+class ResultStore {
+ public:
+  ResultStore() = default;
+
+  /// Points the store at `dir` and scans existing *.erelres entries into
+  /// the index (LRU-ordered by filename — deterministic, and as good a
+  /// cold-start order as any). `max_bytes` 0 means unlimited.
+  void open(std::string dir, std::uint64_t max_bytes);
+
+  /// Validated load of one entry's verbatim text; touches the LRU on a
+  /// hit. A present-but-invalid file is quarantined to `<path>.bad` and
+  /// reported as a miss.
+  std::optional<std::string> load(std::string_view fp_hex,
+                                  const harness::ExpKey& key);
+
+  /// Publishes `text` for `fp_hex` (atomic tmp+rename underneath), then
+  /// evicts least-recently-used entries until the budget holds again. The
+  /// just-stored entry is never evicted, even if it alone exceeds the cap.
+  void store(std::string_view fp_hex, const std::string& text);
+
+  struct Counters {
+    std::uint64_t evicted = 0;      // entries removed by the byte cap
+    std::uint64_t quarantined = 0;  // corrupt entries renamed to .bad
+    std::uint64_t bytes = 0;        // payload bytes currently indexed
+    std::uint64_t entries = 0;      // entries currently indexed
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  struct Indexed {
+    std::list<std::string>::iterator lru_pos;
+    std::uint64_t bytes = 0;
+  };
+
+  // All require mu_ held.
+  void touch(const std::string& fp_hex);
+  void forget(const std::string& fp_hex);
+  void evict_over_budget(std::string_view keep_fp);
+
+  mutable std::mutex mu_;
+  std::string dir_;
+  std::uint64_t max_bytes_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t evicted_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::list<std::string> lru_;  // front = most recently used; holds fp_hex
+  std::map<std::string, Indexed, std::less<>> index_;
+};
+
+}  // namespace erel::service

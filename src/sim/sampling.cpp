@@ -211,7 +211,8 @@ SampledSimulator::SampledSimulator(SimConfig config, SamplingConfig sampling)
 }
 
 SampledStats SampledSimulator::run(const arch::Program& program,
-                                   const std::vector<ProbeSpec>& probes)
+                                   const std::vector<ProbeSpec>& probes,
+                                   const std::function<bool()>& cancel)
     const {
   const std::uint64_t window = sampling_.warmup + sampling_.detail;
   const std::uint64_t slack = sampling_.period - window;  // ctor: period>window
@@ -258,6 +259,7 @@ SampledStats SampledSimulator::run(const arch::Program& program,
     WarmState warm(config_);
     std::uint64_t start = 0;
     for (std::uint64_t k = 0; !master.halted(); ++k) {
+      if (cancel && cancel()) break;  // partial plan; caller discards
       start = unit_start(k, start);
       if (sampling_.functional_warming) {
         run_warmed(master, warm, start);
@@ -352,6 +354,7 @@ SampledStats SampledSimulator::run(const arch::Program& program,
   scheduled_samples.reserve(units.size());
   std::size_t next = 0;
   while (next < order.size()) {
+    if (cancel && cancel()) break;  // partial measurement; caller discards
     const std::size_t batch_end =
         ci_stopping ? std::min(next + kCiBatch, order.size()) : order.size();
     const auto measure = [&](std::size_t i) {

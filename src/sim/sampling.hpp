@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -204,8 +205,14 @@ class SampledSimulator {
   /// `probes` (instances are per-window, so sharding stays race-free);
   /// their registry entries merge into SampledStats::registry in interval
   /// order, bit-identically at any thread count.
+  ///
+  /// `cancel` (optional) is polled between planning steps and between
+  /// measurement batches; once it returns true the run stops early and the
+  /// returned stats are PARTIAL — only a caller that requested the
+  /// cancellation may see them, and must discard them.
   [[nodiscard]] SampledStats run(const arch::Program& program,
-                                 const std::vector<ProbeSpec>& probes = {})
+                                 const std::vector<ProbeSpec>& probes = {},
+                                 const std::function<bool()>& cancel = {})
       const;
 
   [[nodiscard]] const SimConfig& config() const { return config_; }

@@ -1,0 +1,390 @@
+// Fault tolerance end to end: sweeps driven through the deterministic
+// fault-injecting proxy (net/fault.hpp) stay bit-identical to local runs
+// under eight seeded fault plans; the daemon's admission control, kCancel,
+// disconnect reaping, LRU eviction and corrupt-entry quarantine all behave
+// under hostile clients; retried cells are never simulated twice.
+//
+// Every blocking call in here is deadline-bounded (short ClientOptions /
+// RemoteOptions timeouts), so a regression that would hang a sweep fails
+// this suite by timeout instead of wedging CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/fingerprint.hpp"
+#include "harness/result_cache.hpp"
+#include "harness/results.hpp"
+#include "net/fault.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+
+namespace erel {
+namespace {
+
+namespace fs = std::filesystem;
+using core::PolicyKind;
+
+sim::SimConfig tiny_config(std::uint64_t max_instructions = 20'000) {
+  sim::SimConfig config;
+  config.check_oracle = false;
+  config.max_instructions = max_instructions;
+  return config;
+}
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    path = fs::temp_directory_path() /
+           ("erel-faults-" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+struct DaemonFixture {
+  TempDir cache;
+  std::unique_ptr<service::ExperimentDaemon> daemon;
+  std::thread loop;
+
+  explicit DaemonFixture(service::ExperimentDaemon::Options opts = {}) {
+    if (opts.cache_dir.empty())
+      opts.cache_dir = cache.str() + "/daemon-cache";
+    daemon = std::make_unique<service::ExperimentDaemon>(opts);
+    EXPECT_TRUE(daemon->valid()) << daemon->error();
+    loop = std::thread([this] { daemon->run(); });
+  }
+  ~DaemonFixture() {
+    daemon->stop();
+    loop.join();
+  }
+
+  [[nodiscard]] std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(daemon->port());
+  }
+
+  [[nodiscard]] std::string cache_dir() const {
+    return cache.str() + "/daemon-cache";
+  }
+
+  /// Polls stats() until `done` passes or ~10s elapse.
+  service::DaemonStats await_stats(
+      const std::function<bool(const service::DaemonStats&)>& done) {
+    service::DaemonStats stats;
+    for (int i = 0; i < 500; ++i) {
+      stats = daemon->stats();
+      if (done(stats)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    return stats;
+  }
+};
+
+/// A cell request the daemon can simulate, fingerprinted the same way
+/// Experiment::run would.
+service::CellRequest make_request(std::uint64_t id, unsigned phys,
+                                  std::uint64_t max_instructions = 20'000) {
+  service::CellRequest request;
+  request.id = id;
+  request.workload = "li";
+  request.config = tiny_config(max_instructions);
+  request.config.phys_int = request.config.phys_fp = phys;
+  request.key = harness::ExpKey{request.workload, request.config.policy, phys,
+                                std::string()};
+  request.fingerprint_hex =
+      harness::fingerprint_cell(request.workload, request.config, std::nullopt)
+          .hex();
+  return request;
+}
+
+service::ClientOptions fast_client() {
+  service::ClientOptions opts;
+  opts.connect_timeout_ms = 2'000;
+  opts.call_timeout_ms = 10'000;
+  return opts;
+}
+
+harness::Experiment small_sweep() {
+  harness::Experiment exp;
+  exp.base(tiny_config()).workloads({"li"}).phys_regs({40, 48});
+  return exp;
+}
+
+std::string entry_text(const harness::ExpEntry& entry) {
+  return harness::serialize_entry(entry, "comparefp0000000");
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(Faults, SweepThroughFaultProxyStaysBitIdentical) {
+  const harness::Experiment exp = small_sweep();
+  const harness::ResultSet local = exp.run({.threads = 2});
+
+  DaemonFixture fixture;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    net::FaultProxy proxy("127.0.0.1", fixture.daemon->port(),
+                          net::FaultPlan(seed));
+    ASSERT_TRUE(proxy.valid()) << proxy.error();
+    proxy.start();
+
+    harness::RunOptions opts;
+    opts.threads = 2;
+    opts.server = "127.0.0.1:" + std::to_string(proxy.port());
+    // Tight deadlines: a blackholed connection must cost milliseconds of
+    // deadline, not minutes of hang, before the sweep retries or degrades.
+    opts.remote.connect_timeout_ms = 1'000;
+    opts.remote.call_timeout_ms = 1'500;
+    opts.remote.retries = 2;
+    opts.remote.backoff_base_ms = 10;
+    opts.remote.jitter_seed = seed;
+
+    const harness::ResultSet through = exp.run(opts);
+    ASSERT_EQ(through.size(), local.size()) << "seed " << seed;
+    for (const harness::ExpEntry& want : local.entries()) {
+      EXPECT_EQ(entry_text(through.at(want.key)), entry_text(want))
+          << "seed " << seed << " " << want.key.to_string();
+    }
+    proxy.stop();
+  }
+
+  // No hostile schedule may corrupt the daemon's cache: atomic publishes
+  // mean zero quarantined entries and zero .bad files, ever.
+  EXPECT_EQ(fixture.daemon->stats().quarantined, 0u);
+  for (const auto& entry : fs::directory_iterator(fixture.cache_dir()))
+    EXPECT_NE(entry.path().extension(), ".bad") << entry.path();
+}
+
+TEST(Faults, BusyStormIsRefusedThenEveryCellLands) {
+  service::ExperimentDaemon::Options dopts;
+  dopts.workers = 1;
+  dopts.max_queue = 1;
+  dopts.busy_retry_ms = 20;
+  DaemonFixture fixture(dopts);
+
+  service::RemoteClient client(fast_client());
+  ASSERT_TRUE(client.connect(fixture.endpoint())) << client.error();
+
+  // A slow cell fills the only queue slot...
+  const service::CellRequest slow = make_request(1, 40, 400'000);
+  ASSERT_TRUE(client.send_cell(slow));
+  // ...so distinct follow-ups are refused with kBusy, not queued and not
+  // dropped.
+  std::vector<service::CellRequest> storm;
+  for (std::uint64_t id = 2; id <= 4; ++id)
+    storm.push_back(make_request(id, static_cast<unsigned>(40 + 4 * id)));
+  std::uint64_t refusals = 0;
+  for (const service::CellRequest& request : storm) {
+    std::uint64_t id = request.id;
+    for (int attempt = 0;; ++attempt) {
+      service::CellRequest retry = request;
+      retry.id = id;
+      ASSERT_TRUE(client.send_cell(retry)) << client.error();
+      std::string why;
+      const std::optional<service::ResultMsg> result = client.await(id, &why);
+      if (result) {
+        EXPECT_FALSE(result->entry_text.empty());
+        break;
+      }
+      ASSERT_EQ(client.last_status(), service::CallStatus::kBusy)
+          << why << " (attempt " << attempt << ")";
+      ++refusals;
+      ASSERT_LT(attempt, 400) << "cell never admitted";
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(client.last_busy_retry_ms()));
+      id += 100;  // fresh wire id per attempt, like the harness retry loop
+    }
+  }
+  ASSERT_TRUE(client.await(1, nullptr).has_value());  // the slow cell lands
+
+  const service::DaemonStats stats = fixture.daemon->stats();
+  EXPECT_GE(refusals, 1u);
+  EXPECT_EQ(stats.busy, refusals);
+  EXPECT_EQ(stats.simulated, 4u);  // every refusal was a clean no-op
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Faults, DisconnectReapsOrphanedPendingCells) {
+  service::ExperimentDaemon::Options dopts;
+  dopts.workers = 1;
+  DaemonFixture fixture(dopts);
+
+  auto client = std::make_unique<service::RemoteClient>(fast_client());
+  ASSERT_TRUE(client->connect(fixture.endpoint())) << client->error();
+
+  // A long sampled cell (cancellation points between batches) plus two
+  // queued behind the single worker.
+  service::CellRequest running = make_request(1, 40, 2'000'000);
+  running.sampling = sim::SamplingConfig{};
+  running.sampling->period = 10'000;
+  running.sampling->warmup = 1'000;
+  running.sampling->detail = 4'000;
+  running.fingerprint_hex =
+      harness::fingerprint_cell(running.workload, running.config,
+                                running.sampling)
+          .hex();
+  ASSERT_TRUE(client->send_cell(running));
+  ASSERT_TRUE(client->send_cell(make_request(2, 44, 1'000'000)));
+  ASSERT_TRUE(client->send_cell(make_request(3, 48, 1'000'000)));
+  fixture.await_stats(
+      [](const service::DaemonStats& s) { return s.inflight == 3; });
+
+  // Kill the client without awaiting anything: the daemon must reap all
+  // three cells — queued ones outright, the running one cooperatively.
+  client.reset();
+
+  const service::DaemonStats stats = fixture.await_stats(
+      [](const service::DaemonStats& s) { return s.inflight == 0; });
+  EXPECT_EQ(stats.inflight, 0u);
+  EXPECT_GE(stats.cancelled, 2u);  // the running cell may have finished
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Faults, CancelWithdrawsAQueuedCell) {
+  service::ExperimentDaemon::Options dopts;
+  dopts.workers = 1;
+  DaemonFixture fixture(dopts);
+
+  service::RemoteClient client(fast_client());
+  ASSERT_TRUE(client.connect(fixture.endpoint())) << client.error();
+
+  ASSERT_TRUE(client.send_cell(make_request(1, 40, 400'000)));
+  const service::CellRequest victim = make_request(2, 44);
+  ASSERT_TRUE(client.send_cell(victim));
+  client.cancel(2);
+
+  ASSERT_TRUE(client.await(1, nullptr).has_value());
+  const service::DaemonStats stats = fixture.await_stats(
+      [](const service::DaemonStats& s) { return s.inflight == 0; });
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.simulated, 1u);  // the victim never ran
+  EXPECT_EQ(stats.errors, 0u);    // cancel acks are not error stats
+
+  // The withdrawn cell is still perfectly runnable afterwards.
+  service::CellRequest again = victim;
+  again.id = 9;
+  ASSERT_TRUE(client.send_cell(again));
+  ASSERT_TRUE(client.await(9, nullptr).has_value());
+  EXPECT_EQ(fixture.daemon->stats().simulated, 2u);
+}
+
+TEST(Faults, ResubmittedCellIsNeverSimulatedTwice) {
+  service::ExperimentDaemon::Options dopts;
+  dopts.workers = 1;
+  DaemonFixture fixture(dopts);
+
+  service::RemoteClient client(fast_client());
+  ASSERT_TRUE(client.connect(fixture.endpoint())) << client.error();
+
+  // The idempotency pin behind transparent reconnect resubmission: the
+  // same content under a fresh wire id joins the in-flight simulation
+  // (while running) or hits the cache (after), never simulates again.
+  const service::CellRequest cell = make_request(1, 40, 400'000);
+  service::CellRequest retry = cell;
+  retry.id = 2;
+  ASSERT_TRUE(client.send_cell(cell));
+  ASSERT_TRUE(client.send_cell(retry));  // in-flight: dedupe join
+
+  const std::optional<service::ResultMsg> first = client.await(1, nullptr);
+  const std::optional<service::ResultMsg> second = client.await(2, nullptr);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->entry_text, second->entry_text);
+
+  service::CellRequest later = cell;
+  later.id = 3;
+  ASSERT_TRUE(client.send_cell(later));  // completed: cache hit
+  const std::optional<service::ResultMsg> third = client.await(3, nullptr);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_TRUE(third->cached);
+  EXPECT_EQ(third->entry_text, first->entry_text);
+
+  const service::DaemonStats stats = fixture.daemon->stats();
+  EXPECT_EQ(stats.simulated, 1u);
+  EXPECT_EQ(stats.deduped, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST(Faults, CorruptCacheEntryIsQuarantinedAndResimulated) {
+  DaemonFixture fixture;
+
+  service::RemoteClient client(fast_client());
+  ASSERT_TRUE(client.connect(fixture.endpoint())) << client.error();
+
+  const service::CellRequest cell = make_request(1, 40);
+  ASSERT_TRUE(client.send_cell(cell));
+  const std::optional<service::ResultMsg> fresh = client.await(1, nullptr);
+  ASSERT_TRUE(fresh.has_value());
+
+  // Rot the cached entry on disk behind the daemon's back.
+  const std::string path =
+      harness::cache_entry_path(fixture.cache_dir(), cell.fingerprint_hex);
+  {
+    std::ofstream rot(path, std::ios::trunc);
+    rot << "erel-result v1\nthis is not a result\n";
+  }
+
+  service::CellRequest again = cell;
+  again.id = 2;
+  ASSERT_TRUE(client.send_cell(again));
+  const std::optional<service::ResultMsg> healed = client.await(2, nullptr);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_FALSE(healed->cached);  // re-simulated, not served rotten
+  EXPECT_EQ(healed->entry_text, fresh->entry_text);  // and bit-identical
+
+  const service::DaemonStats stats = fixture.daemon->stats();
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.simulated, 2u);
+  EXPECT_TRUE(fs::exists(path + ".bad"));  // kept for postmortems
+  // The healed entry is valid on disk again.
+  EXPECT_TRUE(harness::load_cache_entry(path, cell.fingerprint_hex, cell.key)
+                  .has_value());
+}
+
+TEST(Faults, LruEvictionKeepsTheByteBudget) {
+  service::ExperimentDaemon::Options dopts;
+  dopts.max_cache_bytes = 1;  // every store evicts everything else
+  DaemonFixture fixture(dopts);
+
+  service::RemoteClient client(fast_client());
+  ASSERT_TRUE(client.connect(fixture.endpoint())) << client.error();
+
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(
+        client.send_cell(make_request(id, static_cast<unsigned>(36 + 4 * id))));
+    ASSERT_TRUE(client.await(id, nullptr).has_value());
+  }
+
+  const service::DaemonStats stats = fixture.daemon->stats();
+  EXPECT_EQ(stats.evicted, 2u);  // each store displaced its predecessor
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(fixture.cache_dir()))
+    files += entry.path().extension() == ".erelres" ? 1 : 0;
+  EXPECT_EQ(files, 1u);
+
+  // An evicted cell is a clean miss: re-simulated, not an error.
+  service::CellRequest again = make_request(9, 40);
+  ASSERT_TRUE(client.send_cell(again));
+  const std::optional<service::ResultMsg> result = client.await(9, nullptr);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->cached);
+  EXPECT_EQ(fixture.daemon->stats().simulated, 4u);
+}
+
+}  // namespace
+}  // namespace erel

@@ -3,13 +3,20 @@
 // without injected exception flushes. Any divergence between the OoO model
 // and sequential semantics — or any double-free / leak in the release
 // machinery — aborts the run.
+// A second corpus drives net::FrameDecoder through seeded fault schedules
+// (net/fault.hpp): every truncation point, chunking, and header corruption
+// must land in need-more / truncated-EOF / poisoned-error — never a crash,
+// never a phantom frame.
 #include <gtest/gtest.h>
 
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "asmkit/assembler.hpp"
 #include "common/bits.hpp"
+#include "net/fault.hpp"
+#include "net/frame.hpp"
 #include "sim/simulator.hpp"
 
 namespace erel {
@@ -231,6 +238,183 @@ TEST(FuzzDeterminism, PoliciesAgreeOnArchitecture) {
   }
   EXPECT_EQ(checksum[0], checksum[1]);
   EXPECT_EQ(checksum[1], checksum[2]);
+}
+
+// ---------------------------------------------------------------------------
+// FrameDecoder vs seeded fault schedules.
+
+/// A deterministic multi-frame wire image: frame count, types, payload
+/// sizes and payload bytes all drawn from the plan, including empty and
+/// multi-KB payloads.
+std::vector<net::Frame> corpus_frames(const net::FaultPlan& plan) {
+  std::vector<net::Frame> frames;
+  const std::uint64_t count = 2 + plan.draw(10, 0, 4);  // 2..5 frames
+  for (std::uint64_t i = 0; i < count; ++i) {
+    net::Frame frame;
+    frame.type = static_cast<std::uint8_t>(plan.draw(11, i, 256));
+    const std::uint64_t size = plan.draw(12, i, 3) == 0
+                                   ? 0  // empty payloads are legal
+                                   : 1 + plan.draw(13, i, 4096);
+    frame.payload.reserve(size);
+    for (std::uint64_t b = 0; b < size; ++b)
+      frame.payload.push_back(
+          static_cast<char>(plan.draw(14, i * 131 + b, 256)));
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+std::string wire_image(const std::vector<net::Frame>& frames) {
+  std::string wire;
+  for (const net::Frame& frame : frames) wire += net::encode_frame(frame);
+  return wire;
+}
+
+/// Drains the decoder; appends produced frames. Returns the last status.
+net::FrameDecoder::Status drain(net::FrameDecoder& decoder,
+                                std::vector<net::Frame>& out) {
+  net::Frame frame;
+  for (;;) {
+    const net::FrameDecoder::Status status = decoder.next(frame);
+    if (status != net::FrameDecoder::Status::kFrame) return status;
+    out.push_back(frame);
+  }
+}
+
+TEST(FrameDecoderFuzz, EveryTruncationPointIsNeedMoreOrCleanBoundary) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const net::FaultPlan plan(seed);
+    const std::vector<net::Frame> frames = corpus_frames(plan);
+    const std::string wire = wire_image(frames);
+
+    // Cutting the stream after `cut` bytes must yield exactly the frames
+    // whose bytes fully arrived, then kNeedMore; mid_frame() must flag the
+    // cut as truncation iff it landed inside a frame. Scanning every byte
+    // of multi-KB frames re-tests the same interior state, so interiors
+    // are sampled while every header byte and frame boundary is exact.
+    std::vector<std::size_t> cuts;
+    std::size_t boundary = 0;
+    for (const net::Frame& frame : frames) {
+      const std::size_t wire_size =
+          net::kFrameHeaderSize + frame.payload.size();
+      for (std::size_t h = 0; h <= net::kFrameHeaderSize; ++h)
+        cuts.push_back(boundary + h);
+      for (int k = 0; k < 16; ++k)
+        cuts.push_back(boundary + plan.draw(15, boundary + k, wire_size));
+      boundary += wire_size;
+      cuts.push_back(boundary);
+    }
+    for (const std::size_t cut : cuts) {
+      net::FrameDecoder decoder;
+      decoder.feed(std::string_view(wire).substr(0, cut));
+      std::vector<net::Frame> got;
+      const net::FrameDecoder::Status status = drain(decoder, got);
+      ASSERT_EQ(status, net::FrameDecoder::Status::kNeedMore)
+          << "seed " << seed << " cut " << cut;
+      // Frames entirely before the cut decode intact; nothing phantom.
+      std::size_t complete = 0;
+      std::size_t offset = 0;
+      for (const net::Frame& frame : frames) {
+        offset += net::kFrameHeaderSize + frame.payload.size();
+        if (offset > cut) break;
+        ++complete;
+      }
+      ASSERT_EQ(got.size(), complete) << "seed " << seed << " cut " << cut;
+      for (std::size_t i = 0; i < complete; ++i) ASSERT_EQ(got[i], frames[i]);
+      // EOF here would be truncation exactly when the cut is mid-frame.
+      const bool at_boundary = [&] {
+        std::size_t pos = 0;
+        if (cut == 0) return true;
+        for (const net::Frame& frame : frames) {
+          pos += net::kFrameHeaderSize + frame.payload.size();
+          if (pos == cut) return true;
+        }
+        return false;
+      }();
+      EXPECT_EQ(decoder.mid_frame(), !at_boundary)
+          << "seed " << seed << " cut " << cut;
+    }
+  }
+}
+
+TEST(FrameDecoderFuzz, ChunkedDeliveryReassemblesBitIdentically) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const net::FaultPlan plan(seed);
+    const std::vector<net::Frame> frames = corpus_frames(plan);
+    const std::string wire = wire_image(frames);
+
+    // Short-write-style delivery: the stream arrives in 1..7-byte slivers
+    // (the FaultSpec::kShortWrite shape) with draining interleaved.
+    net::FrameDecoder decoder;
+    std::vector<net::Frame> got;
+    std::size_t offset = 0;
+    std::uint64_t k = 0;
+    while (offset < wire.size()) {
+      const std::size_t chunk = 1 + plan.draw(16, k++, 7);
+      decoder.feed(std::string_view(wire).substr(offset, chunk));
+      offset += chunk;
+      ASSERT_EQ(drain(decoder, got), net::FrameDecoder::Status::kNeedMore);
+    }
+    ASSERT_EQ(got.size(), frames.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < frames.size(); ++i)
+      EXPECT_EQ(got[i], frames[i]) << "seed " << seed << " frame " << i;
+    EXPECT_FALSE(decoder.mid_frame());
+  }
+}
+
+TEST(FrameDecoderFuzz, HeaderCorruptionPoisonsInsteadOfAccepting) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const net::FaultPlan plan(seed);
+    const std::vector<net::Frame> frames = corpus_frames(plan);
+    const std::string wire = wire_image(frames);
+
+    // Flip one magic byte of a drawn frame: every frame before it decodes,
+    // then the decoder poisons and stays poisoned even when fed the valid
+    // remainder. (Type and payload bytes are opaque — only the magic and
+    // the length bound are checkable — so corruption targets the magic.)
+    const std::uint64_t victim = plan.draw(17, 0, frames.size());
+    std::size_t victim_offset = 0;
+    for (std::uint64_t i = 0; i < victim; ++i)
+      victim_offset += net::kFrameHeaderSize + frames[i].payload.size();
+    const std::size_t flip = victim_offset + plan.draw(17, 1, 4);
+    std::string corrupt = wire;
+    corrupt[flip] = static_cast<char>(corrupt[flip] + 1);
+
+    net::FrameDecoder decoder;
+    decoder.feed(corrupt);
+    std::vector<net::Frame> got;
+    ASSERT_EQ(drain(decoder, got), net::FrameDecoder::Status::kError)
+        << "seed " << seed;
+    ASSERT_EQ(got.size(), victim) << "seed " << seed;
+    for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], frames[i]);
+    EXPECT_TRUE(decoder.poisoned());
+    decoder.feed(wire);  // fresh valid bytes cannot un-poison it
+    net::Frame frame;
+    EXPECT_EQ(decoder.next(frame), net::FrameDecoder::Status::kError);
+  }
+}
+
+TEST(FrameDecoderFuzz, OversizedLengthIsAnErrorNotAnAllocation) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const net::FaultPlan plan(seed);
+    // A valid magic + type followed by a length beyond kMaxFramePayload.
+    const std::uint64_t over =
+        net::kMaxFramePayload + 1 + plan.draw(18, 0, 1u << 30);
+    std::string wire;
+    wire.push_back('E');
+    wire.push_back('R');
+    wire.push_back('E');
+    wire.push_back('L');
+    wire.push_back(static_cast<char>(plan.draw(18, 1, 256)));
+    for (int b = 0; b < 4; ++b)
+      wire.push_back(static_cast<char>((over >> (8 * b)) & 0xff));
+    net::FrameDecoder decoder;
+    decoder.feed(wire);
+    net::Frame frame;
+    EXPECT_EQ(decoder.next(frame), net::FrameDecoder::Status::kError)
+        << "seed " << seed;
+    EXPECT_TRUE(decoder.poisoned());
+  }
 }
 
 }  // namespace

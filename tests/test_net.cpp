@@ -320,26 +320,48 @@ TEST(Protocol, EveryMsgTypeHasAName) {
   EXPECT_EQ(msg_type_name(MsgType::kStats), "stats");
   EXPECT_EQ(msg_type_name(MsgType::kStatsReply), "stats_reply");
   EXPECT_EQ(msg_type_name(MsgType::kShutdown), "shutdown");
+  EXPECT_EQ(msg_type_name(MsgType::kCancel), "cancel");
+  EXPECT_EQ(msg_type_name(MsgType::kBusy), "busy");
   EXPECT_EQ(msg_type_name(static_cast<MsgType>(0)), "unknown");
   EXPECT_EQ(msg_type_name(static_cast<MsgType>(200)), "unknown");
 
   // Names are distinct (they appear in error messages; two tags sharing a
   // name would make those messages ambiguous).
   std::vector<std::string_view> names;
-  for (std::uint8_t raw = 1; raw <= 11; ++raw)
+  for (std::uint8_t raw = 1; raw <= 13; ++raw)
     names.push_back(msg_type_name(static_cast<MsgType>(raw)));
   std::sort(names.begin(), names.end());
   EXPECT_EQ(std::adjacent_find(names.begin(), names.end()), names.end());
 }
 
 TEST(Protocol, DaemonStatsRoundTrip) {
-  const service::DaemonStats stats{100, 40, 55, 5, 2, 3, 77, 1};
+  const service::DaemonStats stats{100, 40, 55, 5,  2, 3, 77,
+                                   1,   9,  4,  11, 6, 2};
   const auto out = service::decode_stats(service::encode_stats(stats));
   ASSERT_TRUE(out.has_value());
   EXPECT_EQ(*out, stats);
   EXPECT_FALSE(service::decode_stats("requests 1\n"));       // missing fields
   EXPECT_FALSE(service::decode_stats(
       service::encode_stats(stats) + "extra 1\n"));          // unknown field
+}
+
+TEST(Protocol, CancelAndBusyRoundTrip) {
+  const service::CancelMsg cancel{42};
+  const auto cancel_out =
+      service::decode_cancel(service::encode_cancel(cancel));
+  ASSERT_TRUE(cancel_out.has_value());
+  EXPECT_EQ(cancel_out->id, 42u);
+  EXPECT_FALSE(service::decode_cancel(""));                  // missing id
+  EXPECT_FALSE(service::decode_cancel("id 1\nid 2\n"));      // duplicate
+  EXPECT_FALSE(service::decode_cancel("id 1\nextra 0\n"));   // trailing junk
+
+  const service::BusyMsg busy{42, 250};
+  const auto busy_out = service::decode_busy(service::encode_busy(busy));
+  ASSERT_TRUE(busy_out.has_value());
+  EXPECT_EQ(busy_out->id, 42u);
+  EXPECT_EQ(busy_out->retry_ms, 250u);
+  EXPECT_FALSE(service::decode_busy("id 1\n"));              // missing hint
+  EXPECT_FALSE(service::decode_busy("retry_ms 10\nid 1\n")); // wrong order
 }
 
 }  // namespace

@@ -37,6 +37,9 @@ void usage(const char* argv0) {
       "  --workers=N          simulation workers (0 = hardware default)\n"
       "  --tick-ms=N          subscriber push cadence (default 25)\n"
       "  --snapshot-cycles=N  registry snapshot interval (default 10000)\n"
+      "  --max-queue=N        cells queued-or-running before kBusy (0 = off)\n"
+      "  --max-cache-bytes=N  result-cache LRU byte budget (0 = unlimited)\n"
+      "  --busy-retry-ms=N    retry hint carried in kBusy (default 50)\n"
       "  --stop HOST:PORT     ask a running daemon to shut down\n",
       argv0, argv0);
 }
@@ -97,6 +100,15 @@ int main(int argc, char** argv) {
     } else if (matches("--snapshot-cycles")) {
       opts.snapshot_interval_cycles =
           std::strtoull(value("--snapshot-cycles").c_str(), nullptr, 10);
+    } else if (matches("--max-queue")) {
+      opts.max_queue = static_cast<std::size_t>(
+          std::strtoull(value("--max-queue").c_str(), nullptr, 10));
+    } else if (matches("--max-cache-bytes")) {
+      opts.max_cache_bytes =
+          std::strtoull(value("--max-cache-bytes").c_str(), nullptr, 10);
+    } else if (matches("--busy-retry-ms")) {
+      opts.busy_retry_ms = static_cast<unsigned>(
+          std::strtoul(value("--busy-retry-ms").c_str(), nullptr, 10));
     } else {
       std::fprintf(stderr, "%s: unknown option %s\n", argv[0], argv[i]);
       usage(argv[0]);
@@ -123,12 +135,19 @@ int main(int argc, char** argv) {
   const erel::service::DaemonStats stats = daemon.stats();
   std::printf(
       "ereld: served %llu requests (%llu cache hits, %llu simulated, "
-      "%llu deduped, %llu errors), %llu updates pushed\n",
+      "%llu deduped, %llu errors, %llu busy, %llu cancelled), "
+      "%llu updates pushed, %llu evicted, %llu quarantined, "
+      "%llu client(s) dropped\n",
       static_cast<unsigned long long>(stats.requests),
       static_cast<unsigned long long>(stats.cache_hits),
       static_cast<unsigned long long>(stats.simulated),
       static_cast<unsigned long long>(stats.deduped),
       static_cast<unsigned long long>(stats.errors),
-      static_cast<unsigned long long>(stats.updates));
+      static_cast<unsigned long long>(stats.busy),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.updates),
+      static_cast<unsigned long long>(stats.evicted),
+      static_cast<unsigned long long>(stats.quarantined),
+      static_cast<unsigned long long>(stats.dropped_clients));
   return 0;
 }
